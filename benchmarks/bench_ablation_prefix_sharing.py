@@ -1,0 +1,28 @@
+"""Ablation — shared-prefix phase-2 evaluation (Section 7 future work).
+
+Structural matches sharing walk prefixes (common around hubs and cycles)
+are evaluated together in a series-identity trie. Output equality with
+per-match evaluation is asserted; the benchmark reports the saving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enumeration import find_instances
+from repro.core.motif import paper_motifs
+from repro.core.prefix_sharing import find_instances_shared
+
+
+@pytest.mark.parametrize("dataset", ["Bitcoin", "Facebook", "Passenger"])
+@pytest.mark.parametrize("mode", ["per_match", "shared_prefix"])
+def test_prefix_sharing(benchmark, engines, datasets, dataset, mode):
+    _, delta, phi = datasets[dataset]
+    engine = engines[dataset]
+    motif = paper_motifs(delta, phi)["M(3,2)"]
+    matches = engine.structural_matches(motif)
+    if mode == "per_match":
+        instances = benchmark(find_instances, matches)
+    else:
+        instances = benchmark(find_instances_shared, matches)
+    assert len(instances) == len(find_instances(matches))

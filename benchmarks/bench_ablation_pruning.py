@@ -1,0 +1,27 @@
+"""Ablation — φ-prefix pruning (line 16 of Algorithm 1) on vs off.
+
+With pruning off, the recursion explores every prefix combination and
+rejects sub-φ edge-sets only on complete assignments. Results are
+identical (asserted); the benchmark quantifies the paper's claim that the
+φ check "effectively prunes the search space".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.motif import paper_motifs
+
+
+@pytest.mark.parametrize("dataset", ["Bitcoin", "Facebook", "Passenger"])
+@pytest.mark.parametrize("pruning", [True, False], ids=["pruning_on", "pruning_off"])
+def test_phi_pruning(benchmark, engines, datasets, dataset, pruning):
+    _, delta, phi = datasets[dataset]
+    engine = engines[dataset]
+    # Double the default φ: stronger constraint → more pruning opportunity.
+    motif = paper_motifs(delta, phi * 2)["M(3,2)"]
+    result = benchmark(
+        engine.find_instances, motif, None, None, False, True, pruning
+    )
+    reference = engine.find_instances(motif, collect=False)
+    assert result.count == reference.count

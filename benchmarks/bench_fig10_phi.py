@@ -1,0 +1,33 @@
+"""Figure 10 — phase-2 cost as φ grows (δ at the dataset default).
+
+The paper's shape: both counts and runtime fall as φ rises, because the
+φ-check prunes partial instances early (line 16 of Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.motif import paper_motifs
+
+PHI_FACTORS = [0.0, 1.0, 2.0, 4.0]
+
+
+@pytest.mark.parametrize("dataset", ["Bitcoin", "Facebook", "Passenger"])
+@pytest.mark.parametrize("factor", PHI_FACTORS, ids=lambda f: f"phi_x{f:g}")
+def test_find_instances_vs_phi(benchmark, engines, datasets, dataset, factor):
+    _, delta, phi = datasets[dataset]
+    engine = engines[dataset]
+    motif = paper_motifs(delta, phi * factor)["M(3,2)"]
+    result = benchmark(engine.find_instances, motif, collect=False)
+    assert result.count >= 0
+
+
+@pytest.mark.parametrize("dataset", ["Bitcoin", "Facebook", "Passenger"])
+def test_counts_drop_with_phi(engines, datasets, dataset):
+    _, delta, phi = datasets[dataset]
+    engine = engines[dataset]
+    motif = paper_motifs(delta, phi)["M(3,2)"]
+    loose = engine.find_instances(motif, phi=0.0, collect=False).count
+    strict = engine.find_instances(motif, phi=phi * 4, collect=False).count
+    assert strict <= loose

@@ -1,0 +1,38 @@
+"""Figure 9 — phase-2 cost as δ grows (φ at the dataset default).
+
+One benchmark per (dataset, δ grid point) on the M(3,2) chain; the match
+cache is warm, so the measurement isolates phase P2 — the part Figure 9's
+runtime curves are about. A non-benchmark check asserts the paper's shape:
+instance counts grow with δ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+DELTA_FACTORS = [1 / 3, 2 / 3, 1.0, 4 / 3, 5 / 3]
+
+
+@pytest.mark.parametrize("dataset", ["Bitcoin", "Facebook", "Passenger"])
+@pytest.mark.parametrize("factor", DELTA_FACTORS, ids=lambda f: f"delta_x{f:.2f}")
+def test_find_instances_vs_delta(benchmark, engines, datasets, dataset, factor):
+    _, delta, phi = datasets[dataset]
+    engine = engines[dataset]
+    from repro.core.motif import paper_motifs
+
+    motif = paper_motifs(delta * factor, phi)["M(3,2)"]
+
+    result = benchmark(engine.find_instances, motif, collect=False)
+    assert result.count >= 0
+
+
+@pytest.mark.parametrize("dataset", ["Bitcoin", "Facebook", "Passenger"])
+def test_counts_grow_with_delta(engines, datasets, dataset):
+    from repro.core.motif import paper_motifs
+
+    _, delta, phi = datasets[dataset]
+    engine = engines[dataset]
+    motif = paper_motifs(delta, phi)["M(3,2)"]
+    small = engine.find_instances(motif, delta=delta / 3, collect=False).count
+    large = engine.find_instances(motif, delta=delta * 5 / 3, collect=False).count
+    assert large >= small

@@ -1,0 +1,37 @@
+"""Table 3 — dataset generation and statistics.
+
+Regenerates the Table 3 row for each synthetic stand-in and benchmarks the
+two pipeline stages a user pays on load: generation (or parsing) and the
+statistics pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import DATASET_GENERATORS
+from repro.graph.statistics import dataset_statistics
+
+from conftest import BENCH_SCALE, BENCH_SEED
+
+
+@pytest.mark.parametrize("name", ["Bitcoin", "Facebook", "Passenger"])
+def test_generate_dataset(benchmark, name):
+    generator, _, _ = DATASET_GENERATORS[name]
+    graph = benchmark(generator, scale=BENCH_SCALE, seed=BENCH_SEED)
+    assert graph.num_edges > 0
+
+
+@pytest.mark.parametrize("name", ["Bitcoin", "Facebook", "Passenger"])
+def test_dataset_statistics(benchmark, datasets, name):
+    graph, _, _ = datasets[name]
+    stats = benchmark(dataset_statistics, graph)
+    # Table 3's qualitative shape at any scale:
+    if name == "Bitcoin":
+        assert stats.average_flow > 2.0  # BTC-sized flows
+        assert stats.edges_per_pair < 2.5  # rare parallel edges
+    if name == "Facebook":
+        assert 1.0 <= stats.average_flow <= 6.0  # bucketed counts
+    if name == "Passenger":
+        assert stats.average_flow < 3.0  # 1-6 passengers, mostly 1
+        assert stats.num_nodes < 100  # small dense zone set

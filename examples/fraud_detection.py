@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Detecting suspicious money flows in a Bitcoin-like network.
+
+The paper motivates flow motifs with the patterns Financial Intelligence
+Units look for: cyclic transactions, smurfing (many small transfers that
+aggregate to a large amount), and rapid pass-through chains. This example
+runs those three analyses on the synthetic Bitcoin-like network:
+
+1. **Cyclic flow** — top-k instances of M(3,3) (money returning to its
+   origin within minutes).
+2. **Smurfing** — instances of the 3-chain whose middle hop splits a large
+   amount into several small transactions (multi-edge aggregation is the
+   flow-motif feature that catches this).
+3. **Statistical significance** — cyclic motifs are compared against
+   flow-permuted networks; a high z-score means cyclic high-flow movement
+   is structural, not random.
+
+Run:  python examples/fraud_detection.py
+"""
+
+from repro import FlowMotifEngine, Motif
+from repro.datasets import bitcoin_like
+from repro.significance import motif_significance
+
+
+def describe(instance) -> str:
+    walk = " -> ".join(str(v) for v in instance.vertex_map)
+    return (
+        f"users [{walk}]  flow={instance.flow:.2f} BTC  "
+        f"span={instance.span:.0f}s  transactions={instance.num_interactions}"
+    )
+
+
+def main() -> None:
+    print("generating Bitcoin-like interaction network ...")
+    graph = bitcoin_like(scale=0.6, seed=42)
+    print(f"  {graph}")
+    engine = FlowMotifEngine(graph)
+
+    # --- 1. cyclic transactions -------------------------------------
+    cycle = Motif.cycle(3, delta=600, phi=0, )
+    print("\n[1] top-5 cyclic flows (M(3,3), delta=600s):")
+    for instance in engine.top_k(cycle, k=5):
+        print(f"    {describe(instance)}")
+
+    # --- 2. smurfing: aggregated small transfers ---------------------
+    chain = Motif.chain(3, delta=600, phi=10)
+    result = engine.find_instances(chain)
+    smurfing = [
+        inst
+        for inst in result.instances
+        # A hop that needed 3+ transactions to move >= phi units is the
+        # "numerous small-volume transfers" pattern FIUs flag.
+        if any(run.size >= 3 and run.flow >= 10 for run in inst.runs)
+    ]
+    print(
+        f"\n[2] chains moving >=10 BTC within 10 min: {result.count}; "
+        f"of these, {len(smurfing)} show smurfing (a hop split into >=3 tx):"
+    )
+    for instance in smurfing[:5]:
+        print(f"    {describe(instance)}")
+        for label, run in enumerate(instance.runs, start=1):
+            if run.size >= 3:
+                parts = ", ".join(f"{f:.2f}" for _, f in run.items())
+                print(f"      hop e{label} split: [{parts}]")
+
+    # --- 3. are cycles statistically significant? --------------------
+    print("\n[3] significance of cyclic motifs (10 flow permutations):")
+    records = motif_significance(
+        graph,
+        {
+            "M(3,3)": Motif.cycle(3, delta=600, phi=5),
+            "M(4,4)A": Motif((0, 1, 2, 3, 0), delta=600, phi=5),
+        },
+        num_random=10,
+        seed=7,
+    )
+    for record in records:
+        s = record.summary
+        print(
+            f"    {record.motif_name}: real={record.real_count}  "
+            f"random mean={s.mean:.1f}+-{s.std:.1f}  z={s.z:.1f}  "
+            f"p={s.p_value:.2f}"
+        )
+    print(
+        "\n  -> high z-scores: cyclic high-flow movement in this network is"
+        "\n     far more frequent than flow-shuffled chance, the paper's"
+        "\n     Figure 14 signal for money-laundering-style behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

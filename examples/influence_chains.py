@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Influence propagation chains in a Facebook-like interaction network.
+
+The paper notes that in social networks flow motifs capture influence:
+bursts of interactions propagating user-to-user within a short window.
+This example contrasts the two motif semantics on the same data:
+
+* **flow motifs** (this paper) — interaction *volume* must clear φ per
+  hop, with multiple 30-second buckets aggregating into one motif edge;
+* **temporal motifs** (Paranjape et al. [14], the flow-agnostic baseline)
+  — one interaction per motif edge, no volume requirement.
+
+It then ranks the strongest propagation chains and computes z-scores,
+reproducing the paper's finding that chain motifs are the significant
+shape on Facebook.
+
+Run:  python examples/influence_chains.py
+"""
+
+from repro import FlowMotifEngine, Motif
+from repro.baselines.temporal import count_temporal_motif_instances
+from repro.datasets import facebook_like
+from repro.significance import motif_significance
+
+
+def main() -> None:
+    print("generating Facebook-like interaction network ...")
+    graph = facebook_like(scale=0.7, seed=21)
+    print(f"  {graph}")
+    engine = FlowMotifEngine(graph)
+    ts = engine.time_series_graph
+
+    # --- flow motifs vs flow-agnostic temporal motifs -----------------
+    print("\n[1] flow vs temporal motif counts (delta=600s):")
+    print(f"    {'motif':8s} {'flow (phi=3)':>14s} {'temporal [14]':>14s}")
+    for name, path in [("M(3,2)", (0, 1, 2)), ("M(3,3)", (0, 1, 2, 0))]:
+        motif = Motif(path, delta=600, phi=3)
+        flow_count = engine.count_instances(motif).count
+        matches = engine.structural_matches(motif)
+        temporal_count = count_temporal_motif_instances(
+            ts, motif, matches=matches
+        )
+        print(f"    {name:8s} {flow_count:14d} {temporal_count:14d}")
+    print(
+        "  -> temporal motifs count every single-interaction pattern;"
+        "\n     the flow threshold isolates the *heavy* conversations."
+    )
+
+    # --- strongest propagation chains ---------------------------------
+    chain = Motif.chain(4, delta=600, phi=0)
+    print("\n[2] strongest 4-user propagation chains:")
+    for instance in engine.top_k(chain, k=5):
+        walk = " -> ".join(f"user{v}" for v in instance.vertex_map)
+        print(
+            f"    {walk}: {instance.flow:.0f} interactions/hop minimum, "
+            f"{instance.num_interactions} bucketed bursts"
+        )
+
+    # --- significance: chains are the Facebook shape -------------------
+    print("\n[3] z-scores, chains vs cycles (10 permutations):")
+    records = motif_significance(
+        graph,
+        {
+            "chain M(3,2)": Motif.chain(3, delta=600, phi=3),
+            "chain M(4,3)": Motif.chain(4, delta=600, phi=3),
+            "cycle M(3,3)": Motif.cycle(3, delta=600, phi=3),
+        },
+        num_random=10,
+        seed=5,
+    )
+    for record in records:
+        s = record.summary
+        z_text = "inf" if s.z == float("inf") else f"{s.z:.1f}"
+        print(
+            f"    {record.motif_name}: real={record.real_count} "
+            f"random={s.mean:.1f}+-{s.std:.1f} z={z_text}"
+        )
+    print(
+        "\n  -> chains carry strong z-scores: bursts of attention travel"
+        "\n     along propagation trees, the paper's Facebook conjecture."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Analyzing passenger movement between city zones.
+
+The paper's Passenger network links NYC taxi zones by trips carrying
+passenger counts. Flow motifs answer questions like "along which zone
+chains do large passenger volumes move within a rush window?" — the
+M(4,3) chain with a passenger threshold. This example:
+
+1. finds the heaviest commuter corridors (chains of 4 zones);
+2. uses the DP module's per-window variant to chart *when* the busiest
+   corridor is active (the paper's Section 5.1 extensibility note);
+3. confirms the paper's observation that in passenger networks acyclic
+   motifs dominate cyclic ones.
+
+Run:  python examples/passenger_flows.py
+"""
+
+from collections import defaultdict
+
+from repro import FlowMotifEngine, Motif
+from repro.core.dp import top_one_per_window
+from repro.datasets import passenger_like
+
+
+def main() -> None:
+    print("generating Passenger-flow network (zones = city grid cells) ...")
+    graph = passenger_like(scale=0.7, seed=3)
+    print(f"  {graph}")
+    engine = FlowMotifEngine(graph)
+
+    # --- 1. heaviest corridors ---------------------------------------
+    corridor = Motif.chain(4, delta=900, phi=0)
+    print("\n[1] top-5 passenger corridors (chains of 4 zones, 15 min):")
+    top = engine.top_k(corridor, k=5)
+    for instance in top:
+        walk = " -> ".join(f"zone{v}" for v in instance.vertex_map)
+        print(
+            f"    {walk}: {instance.flow:.0f} passengers "
+            f"in {instance.span:.0f}s"
+        )
+
+    # --- 2. when is the busiest corridor active? ----------------------
+    if top:
+        best = top[0]
+        match = next(
+            m
+            for m in engine.structural_matches(corridor)
+            if m.vertex_map == best.vertex_map
+        )
+        print("\n[2] activity timeline of the busiest corridor:")
+        for record in top_one_per_window(match):
+            bar = "#" * max(1, int(record.flow / 2))
+            print(
+                f"    window [{record.window.start:7.0f}, "
+                f"{record.window.end:7.0f}]: flow {record.flow:5.1f} {bar}"
+            )
+
+    # --- 3. chains vs cycles ------------------------------------------
+    print("\n[3] acyclic vs cyclic motif instances (phi=2):")
+    counts = defaultdict(int)
+    for name, motif in {
+        "chain M(3,2)": Motif.chain(3, delta=900, phi=2),
+        "chain M(4,3)": Motif.chain(4, delta=900, phi=2),
+        "cycle M(3,3)": Motif.cycle(3, delta=900, phi=2),
+        "cycle M(4,4)": Motif.cycle(4, delta=900, phi=2),
+    }.items():
+        counts[name] = engine.count_instances(motif).count
+        print(f"    {name}: {counts[name]} instances")
+    chains = counts["chain M(3,2)"] + counts["chain M(4,3)"]
+    cycles = counts["cycle M(3,3)"] + counts["cycle M(4,4)"]
+    print(
+        f"\n  -> chains outnumber cycles {chains}:{cycles} — passengers"
+        "\n     rarely travel in circles, the paper's Passenger finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Real-time transaction monitoring with the streaming detector.
+
+The paper motivates flow motifs with Financial Intelligence Units watching
+live transaction streams. This example replays a Bitcoin-like network as a
+time-ordered stream into :class:`repro.StreamingDetector` and raises an
+"alert" the moment a cyclic money flow (M(3,3), ≥15 BTC, within 10 min)
+completes — long before the day's data would reach a batch job.
+
+The final consistency check asserts the streaming alerts equal the offline
+search on the full history (the detector's exactly-once guarantee).
+
+Run:  python examples/realtime_monitoring.py
+"""
+
+from repro import FlowMotifEngine, InteractionGraph, Motif, StreamingDetector
+from repro.datasets import bitcoin_like
+
+
+def main() -> None:
+    print("replaying Bitcoin-like network as a live stream ...")
+    graph = bitcoin_like(scale=0.5, seed=12)
+    stream = sorted(graph.interactions(), key=lambda it: it.time)
+    print(f"  {len(stream)} transactions over "
+          f"{graph.time_span[1] - graph.time_span[0]:.0f}s of logical time")
+
+    motif = Motif.cycle(3, delta=600, phi=15)
+    detector = StreamingDetector(motif)
+
+    alerts = []
+    poll_interval = 500  # transactions between polls
+    for index, interaction in enumerate(stream):
+        detector.add(
+            interaction.src, interaction.dst, interaction.time, interaction.flow
+        )
+        if index % poll_interval == 0 and index > 0:
+            for instance in detector.poll():
+                alerts.append(instance)
+                cycle = " -> ".join(str(v) for v in instance.vertex_map)
+                print(
+                    f"  [ALERT t={detector.watermark:8.0f}] cyclic flow "
+                    f"{instance.flow:6.2f} BTC through {cycle} "
+                    f"(completed at t={instance.end_time:.0f})"
+                )
+    alerts.extend(detector.flush())
+
+    print(f"\ntotal alerts: {len(alerts)}")
+
+    # Exactly-once / completeness check against the offline engine.
+    offline = FlowMotifEngine(
+        InteractionGraph(stream)
+    ).find_instances(motif)
+    streamed_keys = {a.canonical_key() for a in alerts}
+    offline_keys = {i.canonical_key() for i in offline.instances}
+    assert streamed_keys == offline_keys, "stream/offline mismatch!"
+    print(
+        f"consistency check passed: streaming emitted exactly the "
+        f"{len(offline_keys)} offline instances, each once."
+    )
+
+
+if __name__ == "__main__":
+    main()

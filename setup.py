@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+``setup.py develop`` editable-install path (offline machines without PEP 660
+support can run ``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

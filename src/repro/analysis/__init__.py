@@ -1,0 +1,24 @@
+"""Post-search analysis of motif instances (Section 7 future work).
+
+The paper's future-work list opens with: *"group the motif instances per
+structural match, in order to identify the structural matches (i.e., sets
+of vertices in the graph G) with the largest activity and how this
+activity is spread along the timeline."* This package implements that
+analysis layer on top of search results.
+"""
+
+from repro.analysis.activity import (
+    ActivityProfile,
+    activity_timeline,
+    group_by_match,
+    group_by_vertices,
+    rank_matches_by_activity,
+)
+
+__all__ = [
+    "ActivityProfile",
+    "activity_timeline",
+    "group_by_match",
+    "group_by_vertices",
+    "rank_matches_by_activity",
+]

@@ -1,0 +1,130 @@
+"""Grouping instances per structural match and activity timelines.
+
+Implements the first future-work item of the paper's Section 7: given the
+instances found for a motif, identify which vertex groups (structural
+matches) are most active — by instance count or by total flow — and how
+that activity distributes over time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.instance import MotifInstance
+from repro.graph.events import Node
+
+
+@dataclass(frozen=True)
+class ActivityProfile:
+    """Aggregate activity of one structural match (one vertex group).
+
+    Attributes
+    ----------
+    vertices:
+        The graph vertices of the match (bijection image, in motif-vertex
+        order).
+    num_instances:
+        How many maximal instances this vertex group produced.
+    total_flow:
+        Sum of instance flows (Equation 1 values).
+    max_flow:
+        Largest single instance flow.
+    first_start, last_end:
+        Time extent covered by the group's instances.
+    """
+
+    vertices: Tuple[Node, ...]
+    num_instances: int
+    total_flow: float
+    max_flow: float
+    first_start: float
+    last_end: float
+
+    @property
+    def active_span(self) -> float:
+        """Length of the period over which this group was active."""
+        return self.last_end - self.first_start
+
+
+def group_by_vertices(
+    instances: Iterable[MotifInstance],
+) -> Dict[Tuple[Node, ...], List[MotifInstance]]:
+    """Group instances by their vertex map (= structural match identity)."""
+    groups: Dict[Tuple[Node, ...], List[MotifInstance]] = {}
+    for instance in instances:
+        groups.setdefault(instance.vertex_map, []).append(instance)
+    return groups
+
+
+def group_by_match(
+    instances: Iterable[MotifInstance],
+) -> List[ActivityProfile]:
+    """One :class:`ActivityProfile` per structural match, unordered."""
+    profiles = []
+    for vertices, group in group_by_vertices(instances).items():
+        flows = [instance.flow for instance in group]
+        profiles.append(
+            ActivityProfile(
+                vertices=vertices,
+                num_instances=len(group),
+                total_flow=sum(flows),
+                max_flow=max(flows),
+                first_start=min(i.start_time for i in group),
+                last_end=max(i.end_time for i in group),
+            )
+        )
+    return profiles
+
+
+def rank_matches_by_activity(
+    instances: Iterable[MotifInstance],
+    by: str = "num_instances",
+    top: int = 10,
+) -> List[ActivityProfile]:
+    """The ``top`` most active vertex groups.
+
+    Parameters
+    ----------
+    instances:
+        Search output (e.g. ``engine.find_instances(motif).instances``).
+    by:
+        Ranking key: ``"num_instances"``, ``"total_flow"`` or
+        ``"max_flow"``.
+    top:
+        How many groups to return.
+    """
+    if by not in ("num_instances", "total_flow", "max_flow"):
+        raise ValueError(
+            f"by must be num_instances, total_flow or max_flow, got {by!r}"
+        )
+    profiles = group_by_match(instances)
+    profiles.sort(key=lambda p: (getattr(p, by), p.total_flow), reverse=True)
+    return profiles[:top]
+
+
+def activity_timeline(
+    instances: Sequence[MotifInstance],
+    bucket_width: float,
+    origin: float = 0.0,
+) -> List[Tuple[float, int, float]]:
+    """Instance activity bucketed along the timeline.
+
+    Each instance is attributed to the bucket of its start time. Returns
+    ``(bucket_start, instance_count, total_flow)`` triples for non-empty
+    buckets, in time order — "how the activity is spread along the
+    timeline" (paper §7).
+    """
+    if bucket_width <= 0:
+        raise ValueError(f"bucket_width must be positive, got {bucket_width!r}")
+    counts: Dict[int, int] = {}
+    flows: Dict[int, float] = {}
+    for instance in instances:
+        bucket = math.floor((instance.start_time - origin) / bucket_width)
+        counts[bucket] = counts.get(bucket, 0) + 1
+        flows[bucket] = flows.get(bucket, 0.0) + instance.flow
+    return [
+        (origin + bucket * bucket_width, counts[bucket], flows[bucket])
+        for bucket in sorted(counts)
+    ]

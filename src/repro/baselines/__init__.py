@@ -1,0 +1,21 @@
+"""Baselines and oracles.
+
+* :mod:`repro.baselines.join` — the paper's comparison baseline
+  (Section 6.2.1): build instances by hierarchically joining per-edge
+  interval tuples.
+* :mod:`repro.baselines.temporal` — flow-agnostic temporal motifs in the
+  style of Paranjape et al. [14] (one graph edge per motif edge), used for
+  contextual comparison.
+* :mod:`repro.baselines.bruteforce` — an exponential reference enumerator
+  used as the ground-truth oracle by the property-based tests.
+"""
+
+from repro.baselines.join import join_find_instances
+from repro.baselines.bruteforce import brute_force_instances
+from repro.baselines.temporal import count_temporal_motif_instances
+
+__all__ = [
+    "join_find_instances",
+    "brute_force_instances",
+    "count_temporal_motif_instances",
+]

@@ -1,0 +1,163 @@
+"""Brute-force reference enumeration of maximal flow-motif instances.
+
+This is the test oracle: an independent, obviously-correct (and obviously
+exponential) implementation of Definitions 3.2 and 3.3 that shares **no
+code** with the two-phase algorithm:
+
+1. structural matches are found by trying *every* injective assignment of
+   motif vertices to graph vertices (no DFS);
+2. per match, *every* combination of non-empty element subsets (not even
+   assuming contiguity) is validated against order, duration and flow;
+3. maximality is checked by attempting every single-element addition.
+
+Only usable on tiny inputs; the property tests bound series lengths.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, permutations, product
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.motif import Motif
+from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+
+#: Canonical instance key: (vertex map, per-edge sorted (t, f) tuples).
+InstanceKey = Tuple[Tuple, Tuple[Tuple[Tuple[float, float], ...], ...]]
+
+
+def _structural_matches_brute(
+    graph: TimeSeriesGraph, motif: Motif
+) -> List[Tuple[Tuple, Tuple[EdgeSeries, ...]]]:
+    """Every injective vertex assignment realizing all motif edges."""
+    nodes = sorted(graph.nodes, key=repr)
+    matches = []
+    for assignment in permutations(nodes, motif.num_vertices):
+        series_list = []
+        ok = True
+        for m_src, m_dst in motif.edges:
+            series = graph.series(assignment[m_src], assignment[m_dst])
+            if series is None:
+                ok = False
+                break
+            series_list.append(series)
+        if ok:
+            matches.append((tuple(assignment), tuple(series_list)))
+    return matches
+
+
+def _non_empty_subsets(n: int, limit: int) -> List[Tuple[int, ...]]:
+    """All non-empty index subsets of range(n) (guarded by ``limit``)."""
+    if n > limit:
+        raise ValueError(
+            f"series too long for brute force ({n} > {limit} elements)"
+        )
+    subsets: List[Tuple[int, ...]] = []
+    for size in range(1, n + 1):
+        subsets.extend(combinations(range(n), size))
+    return subsets
+
+
+def _is_valid_assignment(
+    series_list: Sequence[EdgeSeries],
+    chosen: Sequence[Tuple[int, ...]],
+    delta: float,
+    phi: float,
+) -> bool:
+    """Definition 3.2 bullets 3–5 for one subset-per-edge combination."""
+    for i, subset in enumerate(chosen):
+        flow = sum(series_list[i].flow(idx) for idx in subset)
+        if flow < phi:
+            return False
+    for i in range(len(chosen) - 1):
+        last_t = max(series_list[i].time(idx) for idx in chosen[i])
+        first_t = min(series_list[i + 1].time(idx) for idx in chosen[i + 1])
+        if not last_t < first_t:
+            return False
+    all_times = [
+        series_list[i].time(idx)
+        for i, subset in enumerate(chosen)
+        for idx in subset
+    ]
+    return max(all_times) - min(all_times) <= delta
+
+
+def _is_maximal_assignment(
+    series_list: Sequence[EdgeSeries],
+    chosen: Sequence[Tuple[int, ...]],
+    delta: float,
+) -> bool:
+    """Definition 3.3: try adding every absent element to every edge-set.
+
+    Flow can only grow by addition, so only order and duration matter.
+    """
+    start = min(
+        series_list[i].time(idx) for i, s in enumerate(chosen) for idx in s
+    )
+    end = max(
+        series_list[i].time(idx) for i, s in enumerate(chosen) for idx in s
+    )
+    for i, subset in enumerate(chosen):
+        series = series_list[i]
+        in_set = set(subset)
+        for idx in range(len(series)):
+            if idx in in_set:
+                continue
+            t = series.time(idx)
+            if i > 0:
+                prev_last = max(series_list[i - 1].time(x) for x in chosen[i - 1])
+                if not prev_last < t:
+                    continue
+            if i < len(chosen) - 1:
+                next_first = min(series_list[i + 1].time(x) for x in chosen[i + 1])
+                if not t < next_first:
+                    continue
+            if max(end, t) - min(start, t) <= delta:
+                return False  # addable element found
+    return True
+
+
+def brute_force_instances(
+    graph: TimeSeriesGraph,
+    motif: Motif,
+    delta: float = None,
+    phi: float = None,
+    max_series_elements: int = 12,
+) -> Set[InstanceKey]:
+    """All maximal instances as canonical keys (the oracle's output).
+
+    Parameters
+    ----------
+    graph, motif:
+        The inputs of the search problem.
+    delta, phi:
+        Constraint overrides (default to the motif's).
+    max_series_elements:
+        Safety bound on per-series length; the subset lattice is 2^n.
+    """
+    delta = motif.delta if delta is None else delta
+    phi = motif.phi if phi is None else phi
+    results: Set[InstanceKey] = set()
+    for vertex_map, series_list in _structural_matches_brute(graph, motif):
+        subset_options = [
+            _non_empty_subsets(len(series), max_series_elements)
+            for series in series_list
+        ]
+        for chosen in product(*subset_options):
+            if not _is_valid_assignment(series_list, chosen, delta, phi):
+                continue
+            if not _is_maximal_assignment(series_list, chosen, delta):
+                continue
+            key: InstanceKey = (
+                vertex_map,
+                tuple(
+                    tuple(
+                        sorted(
+                            (series_list[i].time(idx), series_list[i].flow(idx))
+                            for idx in subset
+                        )
+                    )
+                    for i, subset in enumerate(chosen)
+                ),
+            )
+            results.add(key)
+    return results

@@ -1,0 +1,165 @@
+"""Command-line interface.
+
+Regenerate any table/figure of the paper::
+
+    flow-motifs table4
+    flow-motifs fig9 --datasets Bitcoin --motifs "M(3,2)" "M(3,3)"
+    flow-motifs all --scale 0.5 --out results/
+
+Or search motifs in your own edge list (CSV/TSV with src,dst,time,flow)::
+
+    flow-motifs find edges.csv --motif "M(3,3)" --delta 600 --phi 5 --top 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.engine import FlowMotifEngine
+from repro.core.motif import PAPER_MOTIF_PATHS, Motif
+from repro.experiments import EXPERIMENTS
+from repro.experiments.report import render, save_result
+from repro.graph import io as graph_io
+
+
+def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset size multiplier (default 1.0)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default 0)"
+    )
+    parser.add_argument(
+        "--datasets", nargs="+", default=None,
+        choices=["Bitcoin", "Facebook", "Passenger"],
+        help="restrict to these datasets",
+    )
+    parser.add_argument(
+        "--motifs", nargs="+", default=None,
+        metavar="MOTIF",
+        help=f"restrict to these motifs (choices: {', '.join(PAPER_MOTIF_PATHS)})",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write the result JSON into this directory",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="render tables as markdown"
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="additionally render series as terminal bar charts",
+    )
+
+
+def _run_experiments(args: argparse.Namespace, names: List[str]) -> int:
+    for name in names:
+        runner = EXPERIMENTS[name]
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        if args.datasets is not None:
+            kwargs["datasets"] = args.datasets
+        if name not in ("table3",) and args.motifs is not None:
+            kwargs["motifs"] = args.motifs
+        if name == "fig14" and args.num_random is not None:
+            kwargs["num_random"] = args.num_random
+        result = runner(**kwargs)
+        print(render(result, markdown=args.markdown))
+        if args.chart:
+            from repro.utils.charts import series_chart
+
+            for series in result.get("series", ()):
+                print(series_chart(
+                    series["x"], series["lines"],
+                    title=series.get("title") or result["name"],
+                ))
+                print()
+        if args.out:
+            path = save_result(result, args.out)
+            print(f"[saved {path}]\n")
+    return 0
+
+
+def _cmd_find(args: argparse.Namespace) -> int:
+    graph = graph_io.read_csv(args.edges, on_error=args.on_error)
+    try:
+        motif = Motif.from_string(args.motif, args.delta, args.phi)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    engine = FlowMotifEngine(graph)
+    if args.top:
+        instances = engine.top_k(motif, args.top)
+        print(f"top {len(instances)} instances of {motif.display_name}:")
+    else:
+        result = engine.find_instances(motif)
+        instances = result.instances
+        print(
+            f"{result.count} instances of {motif.display_name} "
+            f"({result.num_matches} structural matches, "
+            f"{result.total_seconds:.3f}s)"
+        )
+    for instance in instances[: args.limit]:
+        print(json.dumps(instance.as_dict()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flow-motifs",
+        description=(
+            "Flow motifs in interaction networks (EDBT 2019) — "
+            "experiments and motif search"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in EXPERIMENTS:
+        exp_parser = sub.add_parser(name, help=f"regenerate {name}")
+        _add_experiment_options(exp_parser)
+        exp_parser.add_argument(
+            "--num-random", type=int, default=None, dest="num_random",
+            help="fig14 only: number of random permutations (default 20)",
+        )
+
+    all_parser = sub.add_parser("all", help="run every experiment")
+    _add_experiment_options(all_parser)
+    all_parser.add_argument(
+        "--num-random", type=int, default=None, dest="num_random"
+    )
+
+    find_parser = sub.add_parser("find", help="search motifs in an edge list")
+    find_parser.add_argument("edges", help="CSV/TSV file: src,dst,time,flow")
+    find_parser.add_argument(
+        "--motif", default="M(3,3)",
+        help="catalog name or dashed path, e.g. M(3,3) or 0-1-2-0",
+    )
+    find_parser.add_argument("--delta", type=float, required=True)
+    find_parser.add_argument("--phi", type=float, default=0.0)
+    find_parser.add_argument(
+        "--top", type=int, default=0, help="report the top-k instances instead"
+    )
+    find_parser.add_argument(
+        "--limit", type=int, default=20, help="max instances to print"
+    )
+    find_parser.add_argument(
+        "--on-error", choices=["raise", "skip"], default="raise",
+        help="behaviour on malformed input rows",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "find":
+        return _cmd_find(args)
+    if args.command == "all":
+        return _run_experiments(args, list(EXPERIMENTS))
+    return _run_experiments(args, [args.command])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

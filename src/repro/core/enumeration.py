@@ -1,0 +1,216 @@
+"""Phase P2: Algorithm 1 — enumerate all maximal motif instances.
+
+Given a structural match ``G_s`` with series ``R(e_1) .. R(e_m)``, the
+enumerator slides the maximal δ-windows of :mod:`repro.core.windows` and,
+inside each window ``[a, a + δ]``, recursively assigns to every motif edge a
+*prefix* of the remaining part of its series (the paper's ``FindInstances``
+procedure):
+
+* edge 1 receives all its elements in ``[a, b_1]``,
+* edge ``i`` receives all its elements in ``(b_{i-1}, b_i]``,
+* the last edge ``m`` receives all its elements in ``(b_{m-1}, a + δ]``,
+
+where the breakpoints ``b_i`` run over element timestamps. Two checks make
+the output exactly the *maximal* instances:
+
+1. **Prefix validity** (the paper's "no element of e2 between (13,2) and
+   (15,3)" remark): a prefix of edge ``i`` ending at element ``x_j`` is
+   extended only if the next element ``x_{j+1}`` of the same series (within
+   the window) does **not** precede the first available element of edge
+   ``i+1``; otherwise ``x_{j+1}`` could be added to edge ``i``'s set without
+   violating order or duration, so every completion would be non-maximal.
+2. **φ-pruning** (line 16 of Algorithm 1): a prefix whose aggregated flow is
+   below φ cannot be an edge-set of a valid instance — the recursion is cut
+   immediately. (Longer prefixes have larger flow, so the scan continues.)
+   The ``prefix_pruning=False`` ablation defers the φ test to complete
+   instances; the result set is identical, only slower to produce.
+
+Duplicate freedom: within a window, distinct breakpoint choices produce
+distinct edge-sets; across windows, every emitted instance starts exactly at
+its window anchor (first edge-set always contains the anchor element) and
+anchors are distinct.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.instance import MotifInstance, Run
+from repro.core.matching import StructuralMatch
+from repro.core.windows import Window, iter_maximal_windows
+from repro.graph.timeseries import EdgeSeries
+
+#: Callback receiving one complete assignment: a tuple of (lo, hi) index
+#: ranges, one per motif edge.
+RangeCallback = Callable[[Tuple[Tuple[int, int], ...]], None]
+
+
+def match_is_feasible(
+    series_list: Sequence[EdgeSeries], phi: float
+) -> bool:
+    """Cheap output-preserving prechecks for one structural match.
+
+    Phase P1 ignores time and flow entirely, so most structural matches of
+    larger motifs cannot host any instance. Two O(m log n) checks reject
+    them before any window is opened:
+
+    * **flow feasibility** — an edge-set is a subset of its series, so a
+      series with total flow below φ makes every instance fail the flow
+      constraint;
+    * **temporal feasibility** — instances need a strictly time-respecting
+      chain across the series; the greedy earliest walk (first element of
+      ``R(e_1)``, then the first strictly later element of ``R(e_2)``, …)
+      exists iff any such chain exists (ignoring δ, which the window
+      iterator enforces later).
+    """
+    if phi > 0:
+        for series in series_list:
+            if series.total_flow < phi:
+                return False
+    t = series_list[0].first_time
+    for series in series_list[1:]:
+        idx = series.first_index_after(t)
+        if idx >= len(series):
+            return False
+        t = series.times[idx]
+    return True
+
+
+def enumerate_window_ranges(
+    series_list: Sequence[EdgeSeries],
+    window: Window,
+    phi: float,
+    emit: RangeCallback,
+    prefix_pruning: bool = True,
+) -> None:
+    """Run ``FindInstances`` for one window, emitting index-range tuples.
+
+    ``series_list[i]`` is ``R(e_{i+1})`` of the match. Ranges are inclusive
+    ``(lo, hi)`` index pairs into the corresponding series.
+    """
+    m = len(series_list)
+    anchor, end = window
+    runs: List[Optional[Tuple[int, int]]] = [None] * m
+
+    def recurse(i: int, lower_t: float, inclusive: bool) -> None:
+        series = series_list[i]
+        times = series.times
+        n = len(times)
+        start_idx = (
+            series.first_index_at_or_after(lower_t)
+            if inclusive
+            else series.first_index_after(lower_t)
+        )
+        if start_idx >= n or times[start_idx] > end:
+            return
+        last_idx = series.last_index_at_or_before(end)
+
+        if i == m - 1:
+            # Last motif edge: take everything up to the window end. In
+            # ablation mode the φ test is deferred to the emit callback.
+            if not prefix_pruning or series.flow_between(start_idx, last_idx) >= phi:
+                runs[i] = (start_idx, last_idx)
+                emit(tuple(runs))  # type: ignore[arg-type]
+                runs[i] = None
+            return
+
+        next_series = series_list[i + 1]
+        next_times = next_series.times
+        next_n = len(next_times)
+        # First element of the next edge strictly after the running prefix
+        # end; advanced incrementally as the prefix grows.
+        next_idx = next_series.first_index_after(times[start_idx])
+
+        for j in range(start_idx, last_idx + 1):
+            t_j = times[j]
+            while next_idx < next_n and next_times[next_idx] <= t_j:
+                next_idx += 1
+            if next_idx >= next_n or next_times[next_idx] > end:
+                # No next-edge element left in the window; longer prefixes
+                # only push the requirement later — stop.
+                return
+            if j + 1 <= last_idx and times[j + 1] < next_times[next_idx]:
+                # Prefix validity: element j+1 would be addable to this
+                # edge-set, so completions would be non-maximal.
+                continue
+            if prefix_pruning and series.flow_between(start_idx, j) < phi:
+                continue  # φ-pruning (line 16 of Algorithm 1)
+            runs[i] = (start_idx, j)
+            recurse(i + 1, t_j, False)
+            runs[i] = None
+
+    recurse(0, anchor, True)
+
+
+def find_instances_in_match(
+    match: StructuralMatch,
+    delta: Optional[float] = None,
+    phi: Optional[float] = None,
+    on_instance: Optional[Callable[[MotifInstance], None]] = None,
+    skip_rule: bool = True,
+    prefix_pruning: bool = True,
+) -> List[MotifInstance]:
+    """All maximal instances of the motif within one structural match.
+
+    Parameters
+    ----------
+    match:
+        A phase-P1 structural match.
+    delta, phi:
+        Override the motif's constraints (default: the motif's own δ, φ).
+    on_instance:
+        When given, instances are streamed to this callback and the
+        returned list is empty (avoids materialising huge result sets).
+    skip_rule, prefix_pruning:
+        Ablation switches; leave at defaults for correct/efficient search.
+        With ``prefix_pruning=False`` the φ test happens on complete
+        assignments only (identical results, more work).
+    """
+    motif = match.motif
+    delta = motif.delta if delta is None else delta
+    phi = motif.phi if phi is None else phi
+    series_list = match.series
+    collected: List[MotifInstance] = []
+    if not match_is_feasible(series_list, phi):
+        return collected
+    sink = on_instance if on_instance is not None else collected.append
+
+    def emit(ranges: Tuple[Tuple[int, int], ...]) -> None:
+        runs = tuple(
+            Run(series_list[i], lo, hi) for i, (lo, hi) in enumerate(ranges)
+        )
+        instance = MotifInstance(motif, match.vertex_map, runs)
+        if not prefix_pruning and any(run.flow < phi for run in runs):
+            return  # deferred φ check (ablation mode)
+        sink(instance)
+
+    for window in iter_maximal_windows(
+        series_list[0], series_list[-1], delta, skip_rule=skip_rule
+    ):
+        enumerate_window_ranges(
+            series_list, window, phi, emit, prefix_pruning=prefix_pruning
+        )
+    return collected
+
+
+def find_instances(
+    matches: Sequence[StructuralMatch],
+    delta: Optional[float] = None,
+    phi: Optional[float] = None,
+    on_instance: Optional[Callable[[MotifInstance], None]] = None,
+    skip_rule: bool = True,
+    prefix_pruning: bool = True,
+) -> List[MotifInstance]:
+    """All maximal instances across a set of structural matches (phase P2)."""
+    collected: List[MotifInstance] = []
+    sink = on_instance if on_instance is not None else collected.append
+    for match in matches:
+        find_instances_in_match(
+            match,
+            delta=delta,
+            phi=phi,
+            on_instance=sink,
+            skip_rule=skip_rule,
+            prefix_pruning=prefix_pruning,
+        )
+    return collected

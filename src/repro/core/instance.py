@@ -1,0 +1,285 @@
+"""Motif instances (Definition 3.2) and maximality (Definition 3.3).
+
+An instance assigns to every motif edge a non-empty *run* of the interaction
+series on the matched vertex pair. Maximal instances always assign runs —
+contiguous blocks of the series — because a gap element could be added
+without violating any constraint (it lies between two elements of the same
+edge-set, so the order constraints with neighbouring edge-sets still hold).
+Storing ``(series, lo, hi)`` index ranges keeps instances cheap: flows come
+from prefix sums and events are materialized lazily.
+
+This module also provides the two ground-truth checkers used throughout the
+test suite:
+
+* :func:`is_valid_instance` — the five bullets of Definition 3.2, verified
+  directly against the motif and the time-series graph;
+* :func:`is_maximal` — Definition 3.3, by attempting to add every absent
+  series element to every edge-set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.core.motif import Motif
+from repro.graph.events import Node
+from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+
+
+class Run(NamedTuple):
+    """A contiguous block ``[lo, hi]`` (inclusive) of one edge series.
+
+    This is the edge-set ``E_I(µ(u), µ(v))`` of an instance in compact form:
+    all series elements with index in the range.
+    """
+
+    series: EdgeSeries
+    lo: int
+    hi: int
+
+    @property
+    def flow(self) -> float:
+        """Aggregated flow of the run (the paper's per-edge ``f(R_T(e))``)."""
+        return self.series.flow_between(self.lo, self.hi)
+
+    @property
+    def first_time(self) -> float:
+        """Timestamp of the earliest element in the run."""
+        return self.series.time(self.lo)
+
+    @property
+    def last_time(self) -> float:
+        """Timestamp of the latest element in the run."""
+        return self.series.time(self.hi)
+
+    @property
+    def size(self) -> int:
+        """Number of interactions in the run."""
+        return self.hi - self.lo + 1
+
+    def items(self) -> List[Tuple[float, float]]:
+        """The ``(t, f)`` pairs of the run, in time order."""
+        return self.series.items(self.lo, self.hi)
+
+    def __repr__(self) -> str:
+        return (
+            f"Run({self.series.src!r}->{self.series.dst!r}, "
+            f"[{self.lo},{self.hi}], flow={self.flow:.4g})"
+        )
+
+
+class MotifInstance:
+    """One flow motif instance ``G_I`` (Definition 3.2).
+
+    Attributes
+    ----------
+    motif:
+        The motif this instantiates.
+    vertex_map:
+        Graph vertex per normalized motif vertex id (the bijection ``µ``).
+    runs:
+        One :class:`Run` per motif edge, in label order.
+    """
+
+    __slots__ = ("motif", "vertex_map", "runs")
+
+    def __init__(
+        self,
+        motif: Motif,
+        vertex_map: Tuple[Node, ...],
+        runs: Sequence[Run],
+    ) -> None:
+        if len(runs) != motif.num_edges:
+            raise ValueError(
+                f"instance needs {motif.num_edges} runs, got {len(runs)}"
+            )
+        if len(vertex_map) != motif.num_vertices:
+            raise ValueError(
+                f"instance needs {motif.num_vertices} mapped vertices, "
+                f"got {len(vertex_map)}"
+            )
+        self.motif = motif
+        self.vertex_map = tuple(vertex_map)
+        self.runs = tuple(runs)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def flow(self) -> float:
+        """Instance flow ``f(G_I)`` — Equation 1: the minimum aggregated
+        flow over all motif edges."""
+        return min(run.flow for run in self.runs)
+
+    @property
+    def start_time(self) -> float:
+        """Timestamp of the temporally first interaction of the instance."""
+        return min(run.first_time for run in self.runs)
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the temporally last interaction of the instance."""
+        return max(run.last_time for run in self.runs)
+
+    @property
+    def span(self) -> float:
+        """Duration: latest minus earliest timestamp."""
+        return self.end_time - self.start_time
+
+    @property
+    def num_interactions(self) -> int:
+        """Total number of graph edges used by the instance."""
+        return sum(run.size for run in self.runs)
+
+    def edge_sets(self) -> List[List[Tuple[float, float]]]:
+        """Per motif edge, the list of ``(t, f)`` interaction elements."""
+        return [run.items() for run in self.runs]
+
+    def canonical_key(self) -> Tuple:
+        """A hashable identity for deduplication and oracle comparison.
+
+        Two instances are the same iff they map the same graph vertices and
+        assign the same interaction elements to each motif edge. Elements
+        are sorted by (t, f) so that keys are stable under tied timestamps.
+        """
+        return (
+            self.vertex_map,
+            tuple(tuple(sorted(run.items())) for run in self.runs),
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (used by examples and the CLI)."""
+        return {
+            "motif": self.motif.display_name,
+            "vertices": list(self.vertex_map),
+            "flow": self.flow,
+            "span": self.span,
+            "edges": [
+                {
+                    "label": i + 1,
+                    "src": run.series.src,
+                    "dst": run.series.dst,
+                    "events": run.items(),
+                }
+                for i, run in enumerate(self.runs)
+            ],
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MotifInstance):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    def __repr__(self) -> str:
+        hops = " ; ".join(
+            f"e{i + 1}:{run.series.src}->{run.series.dst}x{run.size}"
+            for i, run in enumerate(self.runs)
+        )
+        return f"MotifInstance(flow={self.flow:.4g}, span={self.span:.4g}, {hops})"
+
+
+# ----------------------------------------------------------------------
+# Definition 3.2 / 3.3 checkers (ground truth for the whole test suite)
+# ----------------------------------------------------------------------
+
+
+def is_valid_instance(
+    instance: MotifInstance,
+    graph: TimeSeriesGraph,
+    delta: Optional[float] = None,
+    phi: Optional[float] = None,
+) -> Tuple[bool, str]:
+    """Check every bullet of Definition 3.2. Returns ``(ok, reason)``.
+
+    ``delta``/``phi`` default to the instance's motif constraints.
+    """
+    motif = instance.motif
+    delta = motif.delta if delta is None else delta
+    phi = motif.phi if phi is None else phi
+
+    # Bullet 1: µ is a bijection (injective on motif vertices).
+    if len(set(instance.vertex_map)) != len(instance.vertex_map):
+        return False, "vertex map is not injective"
+
+    # Bullet 2: per motif edge, a non-empty edge-set on the mapped pair.
+    for i, run in enumerate(instance.runs):
+        m_src, m_dst = motif.edge(i)
+        u, v = instance.vertex_map[m_src], instance.vertex_map[m_dst]
+        if (run.series.src, run.series.dst) != (u, v):
+            return False, (
+                f"edge {i + 1} run is on {run.series.src}->{run.series.dst}, "
+                f"expected {u}->{v}"
+            )
+        if graph.series(u, v) is not run.series and graph.series(u, v) != run.series:
+            return False, f"edge {i + 1} run is not backed by the graph series"
+        if run.hi < run.lo or run.lo < 0 or run.hi >= len(run.series):
+            return False, f"edge {i + 1} run [{run.lo},{run.hi}] is empty or out of range"
+
+    # Bullet 3: time-respecting — consecutive edge-sets strictly ordered.
+    for i in range(len(instance.runs) - 1):
+        if not instance.runs[i].last_time < instance.runs[i + 1].first_time:
+            return False, (
+                f"edge {i + 1} (last t={instance.runs[i].last_time}) does not "
+                f"precede edge {i + 2} (first t={instance.runs[i + 1].first_time})"
+            )
+
+    # Bullet 4: duration.
+    if instance.span > delta:
+        return False, f"span {instance.span} exceeds delta {delta}"
+
+    # Bullet 5: per-edge aggregated flow.
+    for i, run in enumerate(instance.runs):
+        if run.flow < phi:
+            return False, f"edge {i + 1} flow {run.flow} below phi {phi}"
+
+    return True, "ok"
+
+
+def _is_addable(
+    instance: MotifInstance,
+    edge_index: int,
+    element_time: float,
+    delta: float,
+) -> bool:
+    """Whether an absent series element at ``element_time`` could join the
+    edge-set of ``edge_index`` without violating order or duration."""
+    runs = instance.runs
+    if edge_index > 0 and not runs[edge_index - 1].last_time < element_time:
+        return False
+    if edge_index < len(runs) - 1 and not element_time < runs[edge_index + 1].first_time:
+        return False
+    new_start = min(instance.start_time, element_time)
+    new_end = max(instance.end_time, element_time)
+    return new_end - new_start <= delta
+
+
+def is_maximal(
+    instance: MotifInstance,
+    delta: Optional[float] = None,
+) -> bool:
+    """Definition 3.3: no single graph edge can be added to any edge-set.
+
+    Tries every series element absent from each run; the instance is
+    maximal iff none is addable. Quadratic in series length — intended for
+    validation and the join baseline's final filter, not the hot path.
+    """
+    delta = instance.motif.delta if delta is None else delta
+    for i, run in enumerate(instance.runs):
+        series = run.series
+        for idx in range(len(series)):
+            if run.lo <= idx <= run.hi:
+                continue
+            if _is_addable(instance, i, series.time(idx), delta):
+                return False
+    return True
+
+
+def filter_maximal(
+    instances: Iterable[MotifInstance], delta: Optional[float] = None
+) -> List[MotifInstance]:
+    """Keep only maximal instances (used by the join baseline)."""
+    return [inst for inst in instances if is_maximal(inst, delta)]

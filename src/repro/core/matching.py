@@ -1,0 +1,172 @@
+"""Phase P1: structural matches of the motif's spanning path (Section 4).
+
+A structural match maps motif vertices injectively onto graph vertices such
+that every motif edge has a corresponding edge (series) in the time-series
+graph — temporal and flow information is disregarded, exactly as in the
+paper's phase P1.
+
+The matcher is the paper's "modified depth-first search": it exploits the
+fact that the motif's edge-label order traces a path, so matches are exactly
+the walks of length ``m`` in ``G_T`` whose vertex-repetition pattern equals
+the spanning path's pattern (same position pairs coincide, all other
+positions are pairwise distinct — the bijection requirement of
+Definition 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.motif import Motif
+from repro.graph.events import Node
+from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+
+
+class StructuralMatch:
+    """One structural match ``G_s`` of a motif in ``G_T``.
+
+    Attributes
+    ----------
+    motif:
+        The matched motif.
+    vertex_map:
+        Graph vertex per normalized motif vertex id ``0..n-1``.
+    series:
+        Per motif edge (label order), the :class:`EdgeSeries` of the matched
+        vertex pair — the ``R(e_i)`` of the paper.
+    """
+
+    __slots__ = ("motif", "vertex_map", "series")
+
+    def __init__(
+        self,
+        motif: Motif,
+        vertex_map: Tuple[Node, ...],
+        series: Tuple[EdgeSeries, ...],
+    ) -> None:
+        self.motif = motif
+        self.vertex_map = vertex_map
+        self.series = series
+
+    @property
+    def walk(self) -> Tuple[Node, ...]:
+        """The matched walk in ``G_T`` (graph vertex per path position)."""
+        return tuple(self.vertex_map[v] for v in self.motif.spanning_path)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StructuralMatch):
+            return NotImplemented
+        return (
+            self.motif.spanning_path == other.motif.spanning_path
+            and self.vertex_map == other.vertex_map
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.motif.spanning_path, self.vertex_map))
+
+    def __repr__(self) -> str:
+        return f"StructuralMatch({'→'.join(map(str, self.walk))})"
+
+
+def iter_structural_matches(
+    graph: TimeSeriesGraph,
+    motif: Motif,
+    phi: float = 0.0,
+    temporal_pruning: bool = False,
+) -> Iterator[StructuralMatch]:
+    """Yield all structural matches of ``motif`` in ``graph`` (phase P1).
+
+    Matches are produced in deterministic order (sorted start vertex, then
+    sorted extension), so runs are reproducible across processes.
+
+    The DFS keeps the partial assignment motif-vertex → graph-vertex. At
+    path position ``i`` it extends along edge ``e_{i+1}``:
+
+    * if the next motif vertex is already assigned (the path revisits it,
+      e.g. closing a cycle), the single required graph edge is looked up
+      directly;
+    * otherwise every out-neighbour not yet used by another motif vertex is
+      tried (injectivity — Definition 3.2's bijection).
+
+    Parameters
+    ----------
+    phi, temporal_pruning:
+        Optional *flow-aware* pruning for the fused search pipeline: with
+        ``temporal_pruning=True`` a branch is cut when its series cannot
+        host a strictly time-respecting chain (greedy earliest walk dies)
+        or, with ``phi > 0``, when a chosen series' total flow is below φ.
+        Pruned branches cannot contribute any instance, so downstream
+        enumeration output is unchanged — but the *match set* is a subset
+        of the unpruned one. Keep both defaults for the paper's pure
+        phase P1 (Table 4 semantics).
+    """
+    path = motif.spanning_path
+    m = motif.num_edges
+    # Assignment: motif vertex id -> graph node; used: set of assigned nodes.
+    assignment: Dict[int, Node] = {}
+    used: set = set()
+    chosen_series: List[Optional[EdgeSeries]] = [None] * m
+    # chain_time[i]: earliest end of a time-respecting chain over the
+    # series chosen for edges 0..i (greedy; only with temporal_pruning).
+    chain_time: List[float] = [0.0] * m
+
+    def admit(position: int, series: EdgeSeries) -> bool:
+        """Apply the optional flow/temporal pruning for one extension."""
+        if phi > 0 and series.total_flow < phi:
+            return False
+        if not temporal_pruning:
+            return True
+        if position == 0:
+            chain_time[0] = series.first_time
+            return True
+        idx = series.first_index_after(chain_time[position - 1])
+        if idx >= len(series):
+            return False
+        chain_time[position] = series.times[idx]
+        return True
+
+    def extend(position: int) -> Iterator[StructuralMatch]:
+        if position == m:
+            vertex_map = tuple(
+                assignment[v] for v in range(motif.num_vertices)
+            )
+            yield StructuralMatch(
+                motif, vertex_map, tuple(chosen_series)  # type: ignore[arg-type]
+            )
+            return
+        current = assignment[path[position]]
+        next_vid = path[position + 1]
+        if next_vid in assignment:
+            series = graph.series(current, assignment[next_vid])
+            if series is not None and admit(position, series):
+                chosen_series[position] = series
+                yield from extend(position + 1)
+                chosen_series[position] = None
+        else:
+            for series in graph.out_series(current):
+                candidate = series.dst
+                if candidate in used:
+                    continue
+                if not admit(position, series):
+                    continue
+                assignment[next_vid] = candidate
+                used.add(candidate)
+                chosen_series[position] = series
+                yield from extend(position + 1)
+                chosen_series[position] = None
+                used.discard(candidate)
+                del assignment[next_vid]
+
+    for start in sorted(graph.nodes, key=repr):
+        assignment[path[0]] = start
+        used.add(start)
+        yield from extend(0)
+        used.discard(start)
+        del assignment[path[0]]
+
+
+def find_structural_matches(
+    graph: TimeSeriesGraph, motif: Motif
+) -> List[StructuralMatch]:
+    """All structural matches as a list (the paper's set ``S``)."""
+    return list(iter_structural_matches(graph, motif))

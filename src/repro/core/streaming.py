@@ -1,0 +1,207 @@
+"""Online (streaming) flow-motif detection.
+
+The paper motivates flow motifs with Financial Intelligence Units watching
+for suspicious transaction patterns — an inherently *online* task: alerts
+should fire as soon as a pattern completes, not in a nightly batch. This
+module provides a streaming wrapper around the offline machinery with an
+exactly-once guarantee:
+
+* interactions are fed in non-decreasing time order (:meth:`~StreamingDetector.add`);
+* :meth:`~StreamingDetector.poll` emits every maximal instance whose
+  δ-window has *closed* (window end strictly below the current watermark),
+  each exactly once;
+* :meth:`~StreamingDetector.flush` closes all remaining windows at end of
+  stream.
+
+The union of all emissions equals the offline
+:func:`repro.core.enumeration.find_instances` output on the full stream
+(property-tested). Correctness rests on two facts about Algorithm 1:
+
+1. an instance anchored at window ``[a, a + δ]`` uses only events with
+   timestamp ≤ ``a + δ``, so it is fully determined once the watermark
+   passes the window end;
+2. its *maximality* additionally depends only on events ≤ ``a + δ`` (any
+   later event would violate δ), plus the skip-rule comparison with the
+   previous anchor — which is also historical. Per (match, anchor) windows
+   are therefore finalizable in anchor order, tracking the last processed
+   anchor and its last-edge frontier per structural match.
+
+Complexity: each poll rebuilds the time-series view and structural matches
+of the grown graph (``O(|E| + matches)``); suitable for periodic polling,
+not per-event calls. An incremental matcher is a natural follow-up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.enumeration import enumerate_window_ranges, match_is_feasible
+from repro.core.instance import MotifInstance, Run
+from repro.core.matching import iter_structural_matches
+from repro.core.motif import Motif
+from repro.core.windows import Window
+from repro.graph.events import Interaction, Node
+from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+
+
+class StreamingDetector:
+    """Exactly-once online detector for one flow motif.
+
+    Parameters
+    ----------
+    motif:
+        The flow motif (δ and φ are taken from it unless overridden).
+    delta, phi:
+        Optional constraint overrides.
+
+    Example
+    -------
+    >>> from repro.core.motif import Motif
+    >>> detector = StreamingDetector(Motif.chain(3, delta=10, phi=0))
+    >>> detector.add("a", "b", time=1, flow=5)
+    >>> detector.add("b", "c", time=3, flow=4)
+    >>> detector.poll()            # window [1, 11] still open
+    []
+    >>> detector.add("x", "y", time=50, flow=1)
+    >>> [round(i.flow, 1) for i in detector.poll()]
+    [4.0]
+    """
+
+    def __init__(
+        self,
+        motif: Motif,
+        delta: Optional[float] = None,
+        phi: Optional[float] = None,
+    ) -> None:
+        self.motif = motif
+        self.delta = motif.delta if delta is None else delta
+        self.phi = motif.phi if phi is None else phi
+        self._times: Dict[Tuple[Node, Node], List[float]] = {}
+        self._flows: Dict[Tuple[Node, Node], List[float]] = {}
+        self._watermark = float("-inf")
+        self._dirty = True
+        self._ts: Optional[TimeSeriesGraph] = None
+        # Per structural match (by vertex map): (last processed anchor,
+        # last-edge frontier Λ of the previously processed window).
+        self._progress: Dict[Tuple[Node, ...], Tuple[float, Optional[float]]] = {}
+        self._emitted = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def add(self, src: Node, dst: Node, time: float, flow: float) -> None:
+        """Ingest one interaction; timestamps must be non-decreasing."""
+        interaction = Interaction(src, dst, time, flow).validate()
+        if interaction.time < self._watermark:
+            raise ValueError(
+                f"out-of-order interaction at t={interaction.time} "
+                f"(watermark {self._watermark}); the stream must be "
+                f"time-ordered"
+            )
+        self._watermark = interaction.time
+        key = (src, dst)
+        self._times.setdefault(key, []).append(interaction.time)
+        self._flows.setdefault(key, []).append(interaction.flow)
+        self._dirty = True
+
+    @property
+    def watermark(self) -> float:
+        """Timestamp of the latest ingested interaction."""
+        return self._watermark
+
+    @property
+    def emitted_count(self) -> int:
+        """Total instances emitted so far."""
+        return self._emitted
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def _rebuild(self) -> TimeSeriesGraph:
+        if self._dirty or self._ts is None:
+            self._ts = TimeSeriesGraph(
+                EdgeSeries(src, dst, self._times[(src, dst)], self._flows[(src, dst)])
+                for (src, dst) in self._times
+            )
+            self._dirty = False
+        return self._ts
+
+    def _closed_windows(
+        self, first: EdgeSeries, last: EdgeSeries, horizon: float, key: Tuple
+    ) -> List[Window]:
+        """Window positions finalizable for one match, in anchor order.
+
+        Mirrors :func:`repro.core.windows.iter_maximal_windows` but resumes
+        from the per-match progress state and stops at windows whose end
+        has not yet passed the horizon (watermark or flush point).
+        """
+        last_anchor, prev_lam = self._progress.get(key, (float("-inf"), None))
+        windows = []
+        previous_time = None
+        for anchor in first.times:
+            if anchor == previous_time:
+                continue
+            previous_time = anchor
+            if anchor <= last_anchor:
+                continue
+            end = anchor + self.delta
+            if end >= horizon:
+                break  # later events could still land inside this window
+            j = last.last_index_at_or_before(end)
+            if j < 0:
+                last_anchor = anchor
+                continue
+            lam = last.times[j]
+            if lam < anchor:
+                last_anchor = anchor
+                continue
+            if prev_lam is not None and lam <= prev_lam:
+                last_anchor = anchor
+                continue  # the paper's skip rule
+            prev_lam = lam
+            last_anchor = anchor
+            windows.append(Window(anchor, end))
+        self._progress[key] = (last_anchor, prev_lam)
+        return windows
+
+    def _emit_for_horizon(self, horizon: float) -> List[MotifInstance]:
+        graph = self._rebuild()
+        instances: List[MotifInstance] = []
+        for match in iter_structural_matches(
+            graph, self.motif, phi=self.phi, temporal_pruning=True
+        ):
+            series_list = match.series
+            if not match_is_feasible(series_list, self.phi):
+                continue
+            key = match.vertex_map
+            windows = self._closed_windows(
+                series_list[0], series_list[-1], horizon, key
+            )
+            for window in windows:
+                def emit(ranges, _match=match, _series=series_list):
+                    runs = tuple(
+                        Run(_series[i], lo, hi)
+                        for i, (lo, hi) in enumerate(ranges)
+                    )
+                    instances.append(
+                        MotifInstance(self.motif, _match.vertex_map, runs)
+                    )
+
+                enumerate_window_ranges(series_list, window, self.phi, emit)
+        self._emitted += len(instances)
+        return instances
+
+    def poll(self) -> List[MotifInstance]:
+        """Emit instances whose windows closed strictly before the
+        watermark. Call after a batch of :meth:`add` calls."""
+        if not self._times:
+            return []
+        return self._emit_for_horizon(self._watermark)
+
+    def flush(self) -> List[MotifInstance]:
+        """End of stream: close and emit every remaining window."""
+        if not self._times:
+            return []
+        return self._emit_for_horizon(float("inf"))

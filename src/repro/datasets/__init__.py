@@ -1,0 +1,33 @@
+"""Datasets: the paper's worked examples and scaled synthetic networks.
+
+The paper evaluates on three real networks (Bitcoin, Facebook, NYC taxi
+passenger flows) that are not redistributable; :mod:`repro.datasets.synthetic`
+generates deterministic laptop-scale equivalents preserving the properties
+the algorithms are sensitive to (see DESIGN.md §2). The worked examples of
+the paper's figures live in :mod:`repro.datasets.fixtures` and double as
+ground truth for the test suite.
+"""
+
+from repro.datasets.fixtures import (
+    figure1_graph,
+    figure2_graph,
+    figure7_match_graph,
+)
+from repro.datasets.synthetic import (
+    bitcoin_like,
+    facebook_like,
+    passenger_like,
+    planted_cascade_graph,
+    DATASET_GENERATORS,
+)
+
+__all__ = [
+    "figure1_graph",
+    "figure2_graph",
+    "figure7_match_graph",
+    "bitcoin_like",
+    "facebook_like",
+    "passenger_like",
+    "planted_cascade_graph",
+    "DATASET_GENERATORS",
+]

@@ -1,0 +1,109 @@
+"""The paper's worked examples as reusable fixtures.
+
+These small graphs are quoted throughout Sections 1–5 of the paper and give
+exact expected outputs (structural match counts, instance sets, window
+positions, DP values), which the test suite asserts verbatim:
+
+* :func:`figure2_graph` — the running-example bitcoin user graph of
+  Figure 2 / Figure 5. Expected: six structural matches of ``M(3,3)``
+  (Figure 6); with δ=10, φ=7 the maximal instance of Figure 4(a).
+* :func:`figure7_match_graph` — the standalone triangle match of Figure 7
+  (also used by Table 2). Expected with δ=10: windows ``[10,20]`` and
+  ``[15,25]``; the two instances listed in Section 4; DP optimum 5 with the
+  Section 5.1 top-1 instance.
+* :func:`figure1_graph` — the introduction's toy multigraph with the chain
+  motif instances of Figures 1(c)/1(d).
+"""
+
+from __future__ import annotations
+
+from repro.graph.interaction import InteractionGraph
+
+
+def figure2_graph() -> InteractionGraph:
+    """The running-example bitcoin user graph (Figures 2 and 5).
+
+    Edge series (time, flow):
+
+    * ``u1 → u2``: (13, 5), (15, 7)
+    * ``u2 → u3``: (18, 20)
+    * ``u3 → u1``: (10, 10)
+    * ``u3 → u4``: (1, 2), (3, 5)
+    * ``u4 → u3``: (19, 5), (21, 4)
+    * ``u4 → u2``: (23, 7)
+    * ``u2 → u4``: (11, 10)
+
+    The figure's rendering does not state which endpoint pair carries the
+    ``(11, 10)`` edge; either orientation leaves exactly the two directed
+    triangles the paper's Figure 6 shows (``u1 u2 u3`` and ``u2 u3 u4``),
+    so we fix ``u2 → u4`` (see DESIGN.md §5).
+    """
+    return InteractionGraph.from_tuples(
+        [
+            ("u1", "u2", 13, 5),
+            ("u1", "u2", 15, 7),
+            ("u2", "u3", 18, 20),
+            ("u3", "u1", 10, 10),
+            ("u3", "u4", 1, 2),
+            ("u3", "u4", 3, 5),
+            ("u4", "u3", 19, 5),
+            ("u4", "u3", 21, 4),
+            ("u4", "u2", 23, 7),
+            ("u2", "u4", 11, 10),
+        ]
+    )
+
+
+def figure7_match_graph() -> InteractionGraph:
+    """The triangle structural match of Figure 7 (and Table 2).
+
+    The motif is ``M(3,3)`` with spanning path ``v0 → v1 → v2 → v0``;
+    the matched vertices are ``u3, u1, u2`` with series:
+
+    * ``e1 = R(u3, u1)``: (10, 5), (13, 2), (15, 3), (18, 7)
+    * ``e2 = R(u1, u2)``: (9, 4), (11, 3), (16, 3)
+    * ``e3 = R(u2, u3)``: (14, 4), (19, 6), (24, 3), (25, 2)
+
+    With δ=10 the processed windows are ``[10, 20]`` and ``[15, 25]``
+    (positions ``[13, 23]`` and ``[18, 28]`` are skipped), and the maximum
+    instance flow is 5, attained by
+    ``[e1 ← {(10,5)}, e2 ← {(11,3), (16,3)}, e3 ← {(19,6)}]``.
+    """
+    return InteractionGraph.from_tuples(
+        [
+            ("u3", "u1", 10, 5),
+            ("u3", "u1", 13, 2),
+            ("u3", "u1", 15, 3),
+            ("u3", "u1", 18, 7),
+            ("u1", "u2", 9, 4),
+            ("u1", "u2", 11, 3),
+            ("u1", "u2", 16, 3),
+            ("u2", "u3", 14, 4),
+            ("u2", "u3", 19, 6),
+            ("u2", "u3", 24, 3),
+            ("u2", "u3", 25, 2),
+        ]
+    )
+
+
+def figure1_graph() -> InteractionGraph:
+    """The introduction's toy money-exchange multigraph (Figure 1(a)).
+
+    Reconstructed from the instance walk-through: with the 3-node chain
+    motif (labels 1, 2), δ=5 and φ=5, the subgraphs of Figures 1(c)/1(d)
+    are instances — ``u4 → u1 → u2`` aggregating (1,6) then (2,5)+(4,3),
+    and ``u1 → u2 → u3`` aggregating (2,5) then (3,4)+(5,2). The remaining
+    edges are background noise that must *not* create further instances at
+    those thresholds.
+    """
+    return InteractionGraph.from_tuples(
+        [
+            ("u4", "u1", 1, 6),
+            ("u1", "u2", 2, 5),
+            ("u1", "u2", 4, 3),
+            ("u2", "u3", 3, 4),
+            ("u2", "u3", 5, 2),
+            ("u2", "u3", 10, 1),
+            ("u3", "u4", 2, 4),
+        ]
+    )

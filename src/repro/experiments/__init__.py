@@ -1,0 +1,60 @@
+"""Experiment harness regenerating every table and figure of Section 6.
+
+Each ``exp_*`` module exposes ``run(...) -> dict`` returning a JSON-able
+result with ``tables`` and/or ``series`` entries, and the shared
+:func:`repro.experiments.report.render` turns results into the aligned
+text the CLI prints (or markdown for EXPERIMENTS.md).
+
+Module ↔ paper mapping (see DESIGN.md §4):
+
+========  =================================================
+module    reproduces
+========  =================================================
+exp_table3  Table 3 — dataset statistics
+exp_table4  Table 4 — structural matches and phase-1 time
+exp_fig8    Figure 8 — two-phase vs join algorithm
+exp_fig9    Figure 9 — #instances and time vs δ
+exp_fig10   Figure 10 — #instances and time vs φ
+exp_fig11   Figure 11 — flow of the k-th instance
+exp_fig12   Figure 12 — top-k (k=1) vs DP module, phase-2 time
+exp_fig13   Figure 13 — scalability over time-prefix samples
+exp_fig14   Figure 14 — significance vs randomized networks
+exp_ablations  (extra) design-choice ablations per DESIGN.md
+========  =================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    exp_ablations,
+    exp_fig8,
+    exp_fig9,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_fig13,
+    exp_fig14,
+    exp_table3,
+    exp_table4,
+)
+from repro.experiments.common import DatasetBundle, build_datasets
+from repro.experiments.report import render, save_result
+
+EXPERIMENTS = {
+    "table3": exp_table3.run,
+    "table4": exp_table4.run,
+    "fig8": exp_fig8.run,
+    "fig9": exp_fig9.run,
+    "fig10": exp_fig10.run,
+    "fig11": exp_fig11.run,
+    "fig12": exp_fig12.run,
+    "fig13": exp_fig13.run,
+    "fig14": exp_fig14.run,
+    "ablations": exp_ablations.run,
+}
+
+__all__ = [
+    "DatasetBundle",
+    "build_datasets",
+    "render",
+    "save_result",
+    "EXPERIMENTS",
+]

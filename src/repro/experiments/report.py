@@ -1,0 +1,70 @@
+"""Rendering and persisting experiment results.
+
+A result is a plain dict:
+
+.. code-block:: python
+
+    {
+        "name": "fig9", "title": "...", "params": {...},
+        "tables": [{"title": ..., "headers": [...], "rows": [[...], ...]}],
+        "series": [{"title": ..., "x_label": ..., "x": [...],
+                    "lines": {"M(3,2)": [...], ...}}],
+    }
+
+kept JSON-able so results can be archived under ``results/`` and embedded
+into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.utils.tables import format_series, format_table
+
+
+def render(result: dict, markdown: bool = False) -> str:
+    """Render a result dict as aligned text (or markdown) sections."""
+    lines = []
+    title = result.get("title") or result.get("name", "experiment")
+    if markdown:
+        lines.append(f"### {title}")
+    else:
+        lines.append(title)
+        lines.append("=" * len(title))
+    params = result.get("params")
+    if params:
+        rendered = ", ".join(f"{k}={v}" for k, v in params.items())
+        lines.append(f"[{rendered}]")
+    lines.append("")
+    for table in result.get("tables", ()):
+        if table.get("title"):
+            lines.append(f"-- {table['title']} --")
+        lines.append(
+            format_table(table["headers"], table["rows"], markdown=markdown)
+        )
+        lines.append("")
+    for series in result.get("series", ()):
+        if series.get("title"):
+            lines.append(f"-- {series['title']} --")
+        lines.append(
+            format_series(
+                series["x_label"],
+                series["x"],
+                series["lines"],
+                markdown=markdown,
+            )
+        )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def save_result(result: dict, out_dir: str, name: Optional[str] = None) -> str:
+    """Write the result as JSON under ``out_dir``; returns the file path."""
+    os.makedirs(out_dir, exist_ok=True)
+    file_name = f"{name or result.get('name', 'experiment')}.json"
+    path = os.path.join(out_dir, file_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, default=str)
+    return path

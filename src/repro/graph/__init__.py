@@ -1,0 +1,24 @@
+"""Interaction-network substrate.
+
+The paper's input is a directed temporal multigraph ``G(V, E)`` whose edges
+carry a timestamp and a positive flow (Section 3 of the paper). Algorithms
+operate on the equivalent *time-series graph* ``G_T(V, E_T)`` where all
+parallel edges between a vertex pair are merged into a single edge holding an
+interaction time series ``R(u, v)`` (Figure 5 of the paper).
+
+* :class:`~repro.graph.events.Interaction` — one timestamped flow transfer.
+* :class:`~repro.graph.interaction.InteractionGraph` — the input multigraph.
+* :class:`~repro.graph.timeseries.TimeSeriesGraph` — the merged view ``G_T``.
+* :class:`~repro.graph.timeseries.EdgeSeries` — one series ``R(u, v)``.
+"""
+
+from repro.graph.events import Interaction
+from repro.graph.interaction import InteractionGraph
+from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+
+__all__ = [
+    "Interaction",
+    "InteractionGraph",
+    "EdgeSeries",
+    "TimeSeriesGraph",
+]

@@ -1,0 +1,47 @@
+"""The atomic record of an interaction network: one timestamped flow transfer."""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Union
+
+Node = Union[int, str]
+
+
+class Interaction(NamedTuple):
+    """A single edge of the interaction multigraph ``G(V, E)``.
+
+    Matches the paper's edge annotation ``(t, f)``: ``src`` sent ``flow``
+    units to ``dst`` at time ``time``. Timestamps live in a continuous
+    domain; flows are positive reals (Definition in Section 3).
+    """
+
+    src: Node
+    dst: Node
+    time: float
+    flow: float
+
+    def validate(self) -> "Interaction":
+        """Return ``self`` after checking the Section 3 requirements.
+
+        Raises
+        ------
+        ValueError
+            If the flow is not strictly positive, or time/flow are not
+            finite numbers.
+        """
+        time, flow = self.time, self.flow
+        if isinstance(time, bool) or not isinstance(time, (int, float)):
+            raise ValueError(f"interaction time must be a number, got {time!r}")
+        if isinstance(flow, bool) or not isinstance(flow, (int, float)):
+            raise ValueError(f"interaction flow must be a number, got {flow!r}")
+        if math.isnan(time) or math.isinf(time):
+            raise ValueError(f"interaction time must be finite, got {time!r}")
+        if math.isnan(flow) or math.isinf(flow):
+            raise ValueError(f"interaction flow must be finite, got {flow!r}")
+        if flow <= 0:
+            raise ValueError(
+                f"interaction flow must be positive, got {flow!r} "
+                f"({self.src}->{self.dst} at t={time})"
+            )
+        return self

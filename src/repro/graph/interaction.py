@@ -1,0 +1,156 @@
+"""The input interaction multigraph ``G(V, E)``.
+
+This is the user-facing container: interactions are appended in any order,
+validated eagerly, and converted on demand to the
+:class:`~repro.graph.timeseries.TimeSeriesGraph` view that the motif-search
+algorithms consume (the conversion the paper describes in Section 4 and
+Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.events import Interaction, Node
+from repro.graph.timeseries import TimeSeriesGraph
+
+
+class InteractionGraph:
+    """A directed temporal multigraph with flow-annotated edges.
+
+    Any number of parallel edges may connect the same ordered vertex pair;
+    each edge is an :class:`~repro.graph.events.Interaction` ``(src, dst,
+    time, flow)`` with positive flow. The container preserves insertion
+    until converted; the time-series view sorts per pair by timestamp.
+
+    Example
+    -------
+    >>> g = InteractionGraph()
+    >>> g.add_interaction("u1", "u2", time=13, flow=5)
+    >>> g.add_interaction("u1", "u2", time=15, flow=7)
+    >>> g.num_edges
+    2
+    >>> g.num_connected_pairs
+    1
+    """
+
+    def __init__(self, interactions: Optional[Iterable[Interaction]] = None) -> None:
+        self._interactions: List[Interaction] = []
+        self._nodes: Set[Node] = set()
+        self._pairs: Set[Tuple[Node, Node]] = set()
+        self._ts_cache: Optional[TimeSeriesGraph] = None
+        if interactions is not None:
+            for it in interactions:
+                self.add(it)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add(self, interaction: Interaction) -> None:
+        """Append one validated interaction edge."""
+        interaction = Interaction(*interaction).validate()
+        self._interactions.append(interaction)
+        self._nodes.add(interaction.src)
+        self._nodes.add(interaction.dst)
+        self._pairs.add((interaction.src, interaction.dst))
+        self._ts_cache = None
+
+    def add_interaction(self, src: Node, dst: Node, time: float, flow: float) -> None:
+        """Append one edge given its components (convenience wrapper)."""
+        self.add(Interaction(src, dst, time, flow))
+
+    @classmethod
+    def from_tuples(
+        cls, tuples: Iterable[Tuple[Node, Node, float, float]]
+    ) -> "InteractionGraph":
+        """Build from ``(src, dst, time, flow)`` tuples."""
+        graph = cls()
+        for src, dst, time, flow in tuples:
+            graph.add_interaction(src, dst, time, flow)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Set[Node]:
+        """The vertex set."""
+        return self._nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of interactions, i.e. ``|E|`` of the multigraph."""
+        return len(self._interactions)
+
+    @property
+    def num_connected_pairs(self) -> int:
+        """Distinct ordered pairs with at least one edge (``|E_T|``)."""
+        return len(self._pairs)
+
+    @property
+    def connected_pairs(self) -> Set[Tuple[Node, Node]]:
+        """The set of connected ordered vertex pairs."""
+        return set(self._pairs)
+
+    def interactions(self) -> Iterator[Interaction]:
+        """Iterate over interactions in insertion order."""
+        return iter(self._interactions)
+
+    def interactions_sorted(self) -> List[Interaction]:
+        """All interactions sorted by (time, src, dst)."""
+        return sorted(self._interactions, key=lambda it: (it.time, repr(it.src), repr(it.dst)))
+
+    def __len__(self) -> int:
+        return len(self._interactions)
+
+    def __repr__(self) -> str:
+        return (
+            f"InteractionGraph({self.num_nodes} nodes, {self.num_edges} edges, "
+            f"{self.num_connected_pairs} connected pairs)"
+        )
+
+    @property
+    def time_span(self) -> Tuple[float, float]:
+        """(earliest, latest) timestamp in the graph.
+
+        Raises
+        ------
+        ValueError
+            If the graph has no interactions.
+        """
+        if not self._interactions:
+            raise ValueError("empty graph has no time span")
+        times = [it.time for it in self._interactions]
+        return (min(times), max(times))
+
+    @property
+    def total_flow(self) -> float:
+        """Sum of all edge flows."""
+        return sum(it.flow for it in self._interactions)
+
+    @property
+    def average_flow(self) -> float:
+        """Average flow per edge (Table 3's last column)."""
+        if not self._interactions:
+            raise ValueError("empty graph has no average flow")
+        return self.total_flow / len(self._interactions)
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+
+    def to_time_series(self) -> TimeSeriesGraph:
+        """The merged time-series view ``G_T`` (cached until next mutation)."""
+        if self._ts_cache is None:
+            self._ts_cache = TimeSeriesGraph.from_interactions(self._interactions)
+        return self._ts_cache
+
+    def copy(self) -> "InteractionGraph":
+        """An independent copy of the multigraph."""
+        return InteractionGraph(self._interactions)

@@ -1,0 +1,192 @@
+"""Reading and writing interaction networks.
+
+The paper's datasets are edge lists: one interaction per record with source,
+target, timestamp and flow. We support three interchange formats:
+
+* **CSV/TSV** — columns ``src,dst,time,flow`` with an optional header row;
+  the delimiter is sniffed from the first line unless given.
+* **JSON Lines** — one ``{"src":…, "dst":…, "time":…, "flow":…}`` per line.
+
+Malformed rows raise :class:`InteractionFormatError` carrying the line
+number, unless ``on_error="skip"`` is passed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, Optional, TextIO, Union
+
+from repro.graph.events import Interaction
+from repro.graph.interaction import InteractionGraph
+
+PathOrFile = Union[str, "os.PathLike[str]", TextIO]
+
+_HEADER_NAMES = {"src", "source", "from", "u"}
+
+
+class InteractionFormatError(ValueError):
+    """Raised when a record in an interaction file cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _open_maybe(path_or_file: PathOrFile, mode: str):
+    """Return (file, needs_close) for a path or an already-open file."""
+    if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, mode, encoding="utf-8"), True
+
+
+def _parse_node(token: str):
+    """Interpret a node token: integer if it looks like one, else string."""
+    token = token.strip()
+    if token and (token.isdigit() or (token[0] == "-" and token[1:].isdigit())):
+        return int(token)
+    return token
+
+
+def _sniff_delimiter(line: str) -> str:
+    for candidate in ("\t", ",", ";", " "):
+        if candidate in line:
+            return candidate
+    raise InteractionFormatError(
+        f"cannot detect delimiter in {line!r}", line_number=1
+    )
+
+
+def iter_csv_interactions(
+    path_or_file: PathOrFile,
+    delimiter: Optional[str] = None,
+    on_error: str = "raise",
+) -> Iterator[Interaction]:
+    """Yield interactions from a delimited text file.
+
+    Parameters
+    ----------
+    path_or_file:
+        File path or open text file with ``src<sep>dst<sep>time<sep>flow``
+        records.
+    delimiter:
+        Field separator; sniffed from the first line when omitted.
+    on_error:
+        ``"raise"`` (default) aborts on the first malformed record;
+        ``"skip"`` silently drops malformed records.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    handle, needs_close = _open_maybe(path_or_file, "r")
+    try:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if delimiter is None:
+                delimiter = _sniff_delimiter(line)
+            fields = [f for f in line.split(delimiter) if f != ""]
+            if line_number == 1 and fields and fields[0].lower() in _HEADER_NAMES:
+                continue  # header row
+            try:
+                if len(fields) != 4:
+                    raise ValueError(
+                        f"expected 4 fields, got {len(fields)} in {line!r}"
+                    )
+                src, dst = _parse_node(fields[0]), _parse_node(fields[1])
+                interaction = Interaction(
+                    src, dst, float(fields[2]), float(fields[3])
+                ).validate()
+            except ValueError as exc:
+                if on_error == "skip":
+                    continue
+                raise InteractionFormatError(str(exc), line_number) from exc
+            yield interaction
+    finally:
+        if needs_close:
+            handle.close()
+
+
+def read_csv(
+    path_or_file: PathOrFile,
+    delimiter: Optional[str] = None,
+    on_error: str = "raise",
+) -> InteractionGraph:
+    """Load a whole delimited file into an :class:`InteractionGraph`."""
+    return InteractionGraph(
+        iter_csv_interactions(path_or_file, delimiter=delimiter, on_error=on_error)
+    )
+
+
+def write_csv(
+    graph: InteractionGraph,
+    path_or_file: PathOrFile,
+    delimiter: str = ",",
+    header: bool = True,
+) -> None:
+    """Write the multigraph as a delimited edge list (sorted by time)."""
+    handle, needs_close = _open_maybe(path_or_file, "w")
+    try:
+        if header:
+            handle.write(delimiter.join(("src", "dst", "time", "flow")) + "\n")
+        for it in graph.interactions_sorted():
+            handle.write(
+                delimiter.join(
+                    (str(it.src), str(it.dst), repr(float(it.time)), repr(float(it.flow)))
+                )
+                + "\n"
+            )
+    finally:
+        if needs_close:
+            handle.close()
+
+
+def iter_jsonl_interactions(
+    path_or_file: PathOrFile, on_error: str = "raise"
+) -> Iterator[Interaction]:
+    """Yield interactions from a JSON-lines file."""
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
+    handle, needs_close = _open_maybe(path_or_file, "r")
+    try:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                interaction = Interaction(
+                    record["src"],
+                    record["dst"],
+                    float(record["time"]),
+                    float(record["flow"]),
+                ).validate()
+            except (ValueError, KeyError, TypeError) as exc:
+                if on_error == "skip":
+                    continue
+                raise InteractionFormatError(str(exc), line_number) from exc
+            yield interaction
+    finally:
+        if needs_close:
+            handle.close()
+
+
+def read_jsonl(path_or_file: PathOrFile, on_error: str = "raise") -> InteractionGraph:
+    """Load a JSON-lines edge list into an :class:`InteractionGraph`."""
+    return InteractionGraph(iter_jsonl_interactions(path_or_file, on_error=on_error))
+
+
+def write_jsonl(graph: InteractionGraph, path_or_file: PathOrFile) -> None:
+    """Write the multigraph as JSON lines (sorted by time)."""
+    handle, needs_close = _open_maybe(path_or_file, "w")
+    try:
+        for it in graph.interactions_sorted():
+            handle.write(
+                json.dumps(
+                    {"src": it.src, "dst": it.dst, "time": it.time, "flow": it.flow}
+                )
+                + "\n"
+            )
+    finally:
+        if needs_close:
+            handle.close()

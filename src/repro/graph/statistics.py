@@ -1,0 +1,123 @@
+"""Descriptive statistics of interaction networks (Table 3 of the paper).
+
+:func:`dataset_statistics` returns the four Table 3 columns plus derived
+quantities the paper discusses in prose (average parallel edges per
+connected pair, density, time span).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+from typing import Dict, List, Tuple
+
+from repro.graph.events import Node
+from repro.graph.interaction import InteractionGraph
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One row of Table 3, with extra derived columns.
+
+    Attributes
+    ----------
+    num_nodes:
+        ``|V|`` — distinct vertices.
+    num_connected_pairs:
+        Ordered pairs with at least one interaction (``|E_T|``).
+    num_edges:
+        Interactions in the multigraph (``|E|``).
+    average_flow:
+        Mean flow per interaction (Table 3's last column).
+    edges_per_pair:
+        ``|E| / |E_T|`` — average parallel-edge multiplicity; the paper
+        notes ~4 for Facebook and ~3 for Passenger.
+    density:
+        ``|E_T| / (|V| * (|V| - 1))`` — fraction of possible ordered pairs
+        connected; the paper calls Passenger "dense".
+    time_span:
+        ``t_max - t_min``.
+    """
+
+    num_nodes: int
+    num_connected_pairs: int
+    num_edges: int
+    average_flow: float
+    edges_per_pair: float
+    density: float
+    time_span: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict form, used for JSON reports."""
+        return asdict(self)
+
+
+def dataset_statistics(graph: InteractionGraph) -> DatasetStatistics:
+    """Compute the Table 3 row for ``graph``.
+
+    Raises
+    ------
+    ValueError
+        If the graph has no interactions.
+    """
+    if graph.num_edges == 0:
+        raise ValueError("cannot compute statistics of an empty graph")
+    n = graph.num_nodes
+    pairs = graph.num_connected_pairs
+    t_min, t_max = graph.time_span
+    possible = n * (n - 1)
+    return DatasetStatistics(
+        num_nodes=n,
+        num_connected_pairs=pairs,
+        num_edges=graph.num_edges,
+        average_flow=graph.average_flow,
+        edges_per_pair=graph.num_edges / pairs,
+        density=(pairs / possible) if possible else 0.0,
+        time_span=t_max - t_min,
+    )
+
+
+def degree_distribution(graph: InteractionGraph) -> Dict[Node, Tuple[int, int]]:
+    """Per-node (out_degree, in_degree) counted over connected pairs."""
+    out_deg: Dict[Node, int] = {}
+    in_deg: Dict[Node, int] = {}
+    for src, dst in graph.connected_pairs:
+        out_deg[src] = out_deg.get(src, 0) + 1
+        in_deg[dst] = in_deg.get(dst, 0) + 1
+    return {
+        node: (out_deg.get(node, 0), in_deg.get(node, 0)) for node in graph.nodes
+    }
+
+
+def flow_distribution_quantiles(
+    graph: InteractionGraph, quantiles: Tuple[float, ...] = (0.5, 0.9, 0.99)
+) -> Dict[float, float]:
+    """Empirical quantiles of the edge-flow distribution.
+
+    Used by the dataset generators' self-checks: Bitcoin-like flows must be
+    heavy-tailed (p99 far above the median), Passenger-like must not.
+    """
+    flows = sorted(it.flow for it in graph.interactions())
+    if not flows:
+        raise ValueError("cannot compute quantiles of an empty graph")
+    result = {}
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        index = min(len(flows) - 1, int(q * len(flows)))
+        result[q] = flows[index]
+    return result
+
+
+def inter_event_times(graph: InteractionGraph) -> List[float]:
+    """Sorted gaps between consecutive events on each connected pair.
+
+    A proxy for how many events a δ-window captures; generators use it to
+    calibrate event density against the paper's default windows.
+    """
+    ts = graph.to_time_series()
+    gaps: List[float] = []
+    for series in ts.all_series():
+        times = series.times
+        gaps.extend(times[i + 1] - times[i] for i in range(len(times) - 1))
+    gaps.sort()
+    return gaps

@@ -1,0 +1,266 @@
+"""The time-series graph ``G_T`` and per-pair interaction series ``R(u, v)``.
+
+Section 4 of the paper replaces the multigraph by a graph where all parallel
+edges from ``u`` to ``v`` are merged into one edge annotated with the
+time-ordered series ``R(u, v) = [(t1, f1), (t2, f2), ...]``. All motif-search
+algorithms in :mod:`repro.core` operate on this view.
+
+:class:`EdgeSeries` stores a series as two parallel, time-sorted arrays plus
+a prefix-sum array of flows, so that
+
+* locating window boundaries is ``O(log n)`` (binary search), and
+* the aggregated flow of any contiguous run is ``O(1)``.
+
+Contiguous runs are all the algorithms ever need: a maximal motif instance
+assigns to each motif edge *every* series element inside a time interval
+(see :mod:`repro.core.enumeration`), which is a contiguous run of the series.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graph.events import Interaction, Node
+
+
+class EdgeSeries:
+    """The interaction time series ``R(u, v)`` on one edge of ``G_T``.
+
+    Parameters
+    ----------
+    src, dst:
+        The vertex pair this series connects.
+    times, flows:
+        Parallel sequences of timestamps and positive flows. They are
+        sorted by time on construction (stably, preserving the relative
+        order of tied timestamps).
+    """
+
+    __slots__ = ("src", "dst", "times", "flows", "_cum")
+
+    def __init__(
+        self,
+        src: Node,
+        dst: Node,
+        times: Sequence[float],
+        flows: Sequence[float],
+    ) -> None:
+        if len(times) != len(flows):
+            raise ValueError(
+                f"times and flows must have equal length "
+                f"({len(times)} != {len(flows)})"
+            )
+        if len(times) == 0:
+            raise ValueError(f"edge series {src}->{dst} must not be empty")
+        order = sorted(range(len(times)), key=lambda i: times[i])
+        self.src = src
+        self.dst = dst
+        self.times: List[float] = [times[i] for i in order]
+        self.flows: List[float] = [flows[i] for i in order]
+        cum = [0.0] * (len(times) + 1)
+        total = 0.0
+        for i, f in enumerate(self.flows):
+            if f <= 0:
+                raise ValueError(
+                    f"flows must be positive, got {f!r} on {src}->{dst}"
+                )
+            total += f
+            cum[i + 1] = total
+        self._cum = cum
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self.times, self.flows))
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeSeries({self.src!r}->{self.dst!r}, "
+            f"{len(self)} events, total_flow={self.total_flow:.4g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeSeries):
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.times == other.times
+            and self.flows == other.flows
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.src, self.dst, tuple(self.times)))
+
+    def time(self, index: int) -> float:
+        """Timestamp of the ``index``-th element (0-based)."""
+        return self.times[index]
+
+    def flow(self, index: int) -> float:
+        """Flow of the ``index``-th element (0-based)."""
+        return self.flows[index]
+
+    def item(self, index: int) -> Tuple[float, float]:
+        """The ``(t, f)`` pair at ``index``."""
+        return (self.times[index], self.flows[index])
+
+    def items(self, lo: int, hi: int) -> List[Tuple[float, float]]:
+        """The ``(t, f)`` pairs with index in the inclusive range [lo, hi]."""
+        return list(zip(self.times[lo : hi + 1], self.flows[lo : hi + 1]))
+
+    @property
+    def total_flow(self) -> float:
+        """Sum of all flows in the series."""
+        return self._cum[-1]
+
+    @property
+    def first_time(self) -> float:
+        """Timestamp of the temporally first element."""
+        return self.times[0]
+
+    @property
+    def last_time(self) -> float:
+        """Timestamp of the temporally last element."""
+        return self.times[-1]
+
+    # ------------------------------------------------------------------
+    # Binary-search accessors used by the window/enumeration machinery
+    # ------------------------------------------------------------------
+
+    def first_index_at_or_after(self, t: float) -> int:
+        """Smallest index with ``times[i] >= t`` (== len when none)."""
+        return bisect_left(self.times, t)
+
+    def first_index_after(self, t: float) -> int:
+        """Smallest index with ``times[i] > t`` (== len when none)."""
+        return bisect_right(self.times, t)
+
+    def last_index_at_or_before(self, t: float) -> int:
+        """Largest index with ``times[i] <= t`` (== -1 when none)."""
+        return bisect_right(self.times, t) - 1
+
+    def flow_between(self, lo: int, hi: int) -> float:
+        """Aggregated flow of elements with index in the inclusive [lo, hi].
+
+        Returns 0.0 for an empty range (``hi < lo``). This is the paper's
+        ``f(R_T(e))`` for the run of elements instantiating a motif edge.
+        """
+        if hi < lo:
+            return 0.0
+        return self._cum[hi + 1] - self._cum[lo]
+
+    def flow_in_interval(self, start: float, end: float) -> float:
+        """Aggregated flow of elements with ``start <= t <= end``."""
+        lo = self.first_index_at_or_after(start)
+        hi = self.last_index_at_or_before(end)
+        return self.flow_between(lo, hi)
+
+    def indices_in_interval(self, start: float, end: float) -> Tuple[int, int]:
+        """Inclusive index range of elements with ``start <= t <= end``.
+
+        Returns ``(lo, hi)`` with ``hi < lo`` when the interval is empty.
+        """
+        lo = self.first_index_at_or_after(start)
+        hi = self.last_index_at_or_before(end)
+        return lo, hi
+
+
+class TimeSeriesGraph:
+    """The time-series graph ``G_T(V, E_T)`` of Section 4.
+
+    Vertices are those of the input multigraph; every connected ordered pair
+    ``(u, v)`` carries exactly one :class:`EdgeSeries`. Provides the
+    adjacency accessors required by structural matching (phase P1).
+    """
+
+    def __init__(self, series: Iterable[EdgeSeries]) -> None:
+        self._by_pair: Dict[Tuple[Node, Node], EdgeSeries] = {}
+        self._out: Dict[Node, List[EdgeSeries]] = {}
+        self._in: Dict[Node, List[EdgeSeries]] = {}
+        self._nodes: set = set()
+        for s in series:
+            key = (s.src, s.dst)
+            if key in self._by_pair:
+                raise ValueError(f"duplicate edge series for pair {key}")
+            self._by_pair[key] = s
+            self._nodes.add(s.src)
+            self._nodes.add(s.dst)
+            self._out.setdefault(s.src, []).append(s)
+            self._in.setdefault(s.dst, []).append(s)
+        # Deterministic iteration order helps seeded experiments reproduce.
+        for adj in (self._out, self._in):
+            for node in adj:
+                adj[node].sort(key=lambda s: (repr(s.src), repr(s.dst)))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_interactions(cls, interactions: Iterable[Interaction]) -> "TimeSeriesGraph":
+        """Group raw interactions by vertex pair into series (Figure 5)."""
+        times: Dict[Tuple[Node, Node], List[float]] = {}
+        flows: Dict[Tuple[Node, Node], List[float]] = {}
+        for it in interactions:
+            key = (it.src, it.dst)
+            times.setdefault(key, []).append(it.time)
+            flows.setdefault(key, []).append(it.flow)
+        return cls(
+            EdgeSeries(src, dst, times[(src, dst)], flows[(src, dst)])
+            for (src, dst) in times
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> set:
+        """The vertex set (vertices incident to at least one interaction)."""
+        return self._nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_series(self) -> int:
+        """Number of connected ordered pairs, i.e. ``|E_T|``."""
+        return len(self._by_pair)
+
+    @property
+    def num_events(self) -> int:
+        """Total number of interactions across all series, i.e. ``|E|``."""
+        return sum(len(s) for s in self._by_pair.values())
+
+    def series(self, src: Node, dst: Node) -> Optional[EdgeSeries]:
+        """The series ``R(src, dst)``, or None if the pair is not connected."""
+        return self._by_pair.get((src, dst))
+
+    def has_edge(self, src: Node, dst: Node) -> bool:
+        """Whether at least one interaction goes from ``src`` to ``dst``."""
+        return (src, dst) in self._by_pair
+
+    def out_series(self, node: Node) -> List[EdgeSeries]:
+        """All series leaving ``node`` (empty list for sinks/unknown nodes)."""
+        return self._out.get(node, [])
+
+    def in_series(self, node: Node) -> List[EdgeSeries]:
+        """All series entering ``node``."""
+        return self._in.get(node, [])
+
+    def all_series(self) -> List[EdgeSeries]:
+        """Every edge series, in deterministic (src, dst) order."""
+        return [self._by_pair[k] for k in sorted(self._by_pair, key=repr)]
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeriesGraph({self.num_nodes} nodes, "
+            f"{self.num_series} series, {self.num_events} events)"
+        )

@@ -1,0 +1,168 @@
+"""Dataset transformations used by the paper's preprocessing and experiments.
+
+* :func:`bucket_interactions` — the Facebook preprocessing (Section 6.1):
+  interactions of each ordered pair are aggregated into fixed-length time
+  buckets; the bucket start becomes the timestamp, the summed count/flow the
+  edge flow.
+* :func:`filter_min_flow` — the Bitcoin "dust" filter (drop interactions
+  below 0.0001 BTC in the paper).
+* :func:`time_prefix` / :func:`time_prefix_samples` — the scalability
+  samples of Section 6.2.4 (B1..B5, F1..F5, T1..T4 are prefixes of the
+  covered time period).
+* :func:`induced_subgraph`, :func:`relabel_nodes` — generic utilities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.graph.events import Interaction, Node
+from repro.graph.interaction import InteractionGraph
+
+
+def bucket_interactions(
+    graph: InteractionGraph,
+    bucket_seconds: float,
+    origin: float = 0.0,
+) -> InteractionGraph:
+    """Aggregate per-pair interactions into fixed-width time buckets.
+
+    For every ordered pair ``(u, v)`` and every bucket ``[ts, ts + w)``, all
+    interactions of the pair inside the bucket are merged into a single edge
+    timestamped at the bucket start ``ts`` whose flow is the sum of the
+    merged flows — exactly the paper's 30-second Facebook aggregation.
+
+    Parameters
+    ----------
+    graph:
+        The raw interaction multigraph.
+    bucket_seconds:
+        Bucket width ``w`` (must be positive).
+    origin:
+        Bucket grid origin; bucket k covers ``[origin + k*w, origin + (k+1)*w)``.
+    """
+    if bucket_seconds <= 0:
+        raise ValueError(f"bucket_seconds must be positive, got {bucket_seconds!r}")
+    merged: Dict[Tuple[Node, Node, int], float] = {}
+    for it in graph.interactions():
+        bucket = math.floor((it.time - origin) / bucket_seconds)
+        key = (it.src, it.dst, bucket)
+        merged[key] = merged.get(key, 0.0) + it.flow
+    out = InteractionGraph()
+    for (src, dst, bucket), flow in sorted(merged.items(), key=lambda kv: repr(kv[0])):
+        out.add_interaction(src, dst, origin + bucket * bucket_seconds, flow)
+    return out
+
+
+def filter_min_flow(graph: InteractionGraph, min_flow: float) -> InteractionGraph:
+    """Drop interactions with flow strictly below ``min_flow``.
+
+    The paper applies this to Bitcoin with ``min_flow = 0.0001`` BTC to
+    remove insignificant transactions.
+    """
+    out = InteractionGraph()
+    for it in graph.interactions():
+        if it.flow >= min_flow:
+            out.add(it)
+    return out
+
+
+def filter_interactions(
+    graph: InteractionGraph, predicate: Callable[[Interaction], bool]
+) -> InteractionGraph:
+    """Keep only interactions satisfying ``predicate``."""
+    out = InteractionGraph()
+    for it in graph.interactions():
+        if predicate(it):
+            out.add(it)
+    return out
+
+
+def time_prefix(graph: InteractionGraph, fraction: float) -> InteractionGraph:
+    """The sub-multigraph of interactions in the first ``fraction`` of the
+    covered time period.
+
+    ``fraction = 0.5`` keeps every interaction with
+    ``t <= t_min + 0.5 * (t_max - t_min)``. Section 6.2.4 builds its samples
+    this way (e.g. B1 is the first month out of nine).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+    t_min, t_max = graph.time_span
+    cutoff = t_min + fraction * (t_max - t_min)
+    return filter_interactions(graph, lambda it: it.time <= cutoff)
+
+
+def time_prefix_samples(
+    graph: InteractionGraph,
+    fractions: Sequence[float],
+    names: Sequence[str],
+) -> List[Tuple[str, InteractionGraph]]:
+    """Named time-prefix samples, e.g. B1..B5 with fractions (1/9, 2/9, ...).
+
+    Returns ``[(name, subgraph), ...]`` in the given order.
+    """
+    if len(fractions) != len(names):
+        raise ValueError("fractions and names must have equal length")
+    return [(name, time_prefix(graph, f)) for name, f in zip(names, fractions)]
+
+
+def induced_subgraph(graph: InteractionGraph, nodes: Iterable[Node]) -> InteractionGraph:
+    """Keep only interactions whose both endpoints are in ``nodes``."""
+    keep: Set[Node] = set(nodes)
+    return filter_interactions(
+        graph, lambda it: it.src in keep and it.dst in keep
+    )
+
+
+def relabel_nodes(
+    graph: InteractionGraph, mapping: Dict[Node, Node]
+) -> InteractionGraph:
+    """Rename vertices; identities not in ``mapping`` are kept as-is.
+
+    This is how the Bitcoin address-merge heuristic is expressed: a mapping
+    from address to user collapses several addresses onto one node (parallel
+    edges produced by the merge are preserved, as in the paper).
+    """
+    out = InteractionGraph()
+    for it in graph.interactions():
+        out.add_interaction(
+            mapping.get(it.src, it.src),
+            mapping.get(it.dst, it.dst),
+            it.time,
+            it.flow,
+        )
+    return out
+
+
+def merge_addresses(
+    graph: InteractionGraph, co_input_groups: Iterable[Iterable[Node]]
+) -> InteractionGraph:
+    """Apply the paper's Bitcoin address-merge heuristic.
+
+    Addresses that appear together as inputs of one transaction are assumed
+    to belong to one user. ``co_input_groups`` lists such groups; they are
+    unioned transitively (union-find) and every address is relabelled to its
+    group representative.
+    """
+    parent: Dict[Node, Node] = {}
+
+    def find(x: Node) -> Node:
+        root = x
+        while parent.get(root, root) != root:
+            root = parent[root]
+        while parent.get(x, x) != x:
+            parent[x], x = root, parent[x]
+        return root
+
+    for group in co_input_groups:
+        members = list(group)
+        if not members:
+            continue
+        head = find(members[0])
+        for member in members[1:]:
+            parent[find(member)] = head
+
+    mapping = {node: find(node) for node in graph.nodes if find(node) != node}
+    return relabel_nodes(graph, mapping)

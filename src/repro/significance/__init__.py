@@ -1,0 +1,28 @@
+"""Statistical significance of flow motifs (Section 6.3).
+
+Random graphs are derived from the real one by permuting the flow values
+over all edges — structure and timestamps stay fixed, so structural matches
+and δ-windows are identical and only the φ constraint separates real from
+random counts. Significance is reported as z-scores and empirical p-values
+over an ensemble of such permutations (Figure 14).
+"""
+
+from repro.significance.randomization import permute_flows, permutation_ensemble
+from repro.significance.zscore import (
+    SignificanceSummary,
+    empirical_p_value,
+    summarize_significance,
+    z_score,
+)
+from repro.significance.experiment import motif_significance, MotifSignificance
+
+__all__ = [
+    "permute_flows",
+    "permutation_ensemble",
+    "SignificanceSummary",
+    "empirical_p_value",
+    "summarize_significance",
+    "z_score",
+    "motif_significance",
+    "MotifSignificance",
+]

@@ -1,0 +1,60 @@
+"""Flow-permuted random graphs (the Section 6.3 null model).
+
+Given ``G(V, E)`` where edge ``e`` carries ``(t(e), f(e))``, the randomized
+``G_r`` keeps every vertex, edge and timestamp and reassigns the multiset of
+flow values under a uniform random permutation π: edge ``e`` gets
+``π(f(e))``. Consequences the experiment relies on (and tests assert):
+
+* ``G_r`` has exactly the same structural matches and the same δ-windows;
+* with φ = 0 the motif instances of ``G`` and ``G_r`` coincide;
+* only flow aggregation changes, so count differences at φ > 0 measure how
+  much *flow correlation* (not topology or timing) drives the motifs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Union
+
+from repro.graph.interaction import InteractionGraph
+
+
+def permute_flows(
+    graph: InteractionGraph,
+    seed_or_rng: Union[int, random.Random, None] = None,
+) -> InteractionGraph:
+    """One flow-permuted copy of ``graph``.
+
+    Interactions are taken in canonical (time, src, dst) order so that the
+    result depends only on the graph content and the seed, not on insertion
+    order.
+    """
+    rng = (
+        seed_or_rng
+        if isinstance(seed_or_rng, random.Random)
+        else random.Random(seed_or_rng)
+    )
+    ordered = graph.interactions_sorted()
+    flows = [it.flow for it in ordered]
+    rng.shuffle(flows)
+    out = InteractionGraph()
+    for it, flow in zip(ordered, flows):
+        out.add_interaction(it.src, it.dst, it.time, flow)
+    return out
+
+
+def permutation_ensemble(
+    graph: InteractionGraph,
+    count: int = 20,
+    seed: Optional[int] = 0,
+) -> Iterator[InteractionGraph]:
+    """Yield ``count`` independent flow permutations (paper uses 20).
+
+    Each member uses a sub-seed derived from ``seed`` so ensembles are
+    reproducible yet mutually independent.
+    """
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    base = random.Random(seed)
+    for _ in range(count):
+        yield permute_flows(graph, base.randrange(2**63))

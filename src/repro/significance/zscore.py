@@ -1,0 +1,91 @@
+"""z-scores and empirical p-values for motif counts (Section 6.3)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def z_score(real_value: float, random_values: Sequence[float]) -> float:
+    """The paper's ``z_M = (r_M - µ_M) / σ_M``.
+
+    ``σ`` is the population standard deviation of the randomized counts.
+    Returns ``inf`` (signed) when σ is zero but the real value differs from
+    the mean, and ``0.0`` when all values coincide.
+    """
+    if not random_values:
+        raise ValueError("need at least one randomized count")
+    n = len(random_values)
+    mean = sum(random_values) / n
+    variance = sum((v - mean) ** 2 for v in random_values) / n
+    sigma = math.sqrt(variance)
+    if sigma == 0.0:
+        if real_value == mean:
+            return 0.0
+        return math.inf if real_value > mean else -math.inf
+    return (real_value - mean) / sigma
+
+
+def empirical_p_value(real_value: float, random_values: Sequence[float]) -> float:
+    """Fraction of randomized counts >= the real count.
+
+    The paper reports this as zero for all tested motifs (no random graph
+    ever reaches the real count).
+    """
+    if not random_values:
+        raise ValueError("need at least one randomized count")
+    return sum(1 for v in random_values if v >= real_value) / len(random_values)
+
+
+@dataclass(frozen=True)
+class SignificanceSummary:
+    """Distribution summary of randomized counts plus significance scores."""
+
+    real: float
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    z: float
+    p_value: float
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("empty sequence")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = q * (len(sorted_values) - 1)
+    lower = int(math.floor(position))
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+def summarize_significance(
+    real_value: float, random_values: Sequence[float]
+) -> SignificanceSummary:
+    """Box-plot statistics (Figure 14) plus z-score and p-value."""
+    if not random_values:
+        raise ValueError("need at least one randomized count")
+    ordered = sorted(random_values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    std = math.sqrt(sum((v - mean) ** 2 for v in ordered) / n)
+    return SignificanceSummary(
+        real=real_value,
+        mean=mean,
+        std=std,
+        minimum=ordered[0],
+        q1=_quantile(ordered, 0.25),
+        median=_quantile(ordered, 0.5),
+        q3=_quantile(ordered, 0.75),
+        maximum=ordered[-1],
+        z=z_score(real_value, ordered),
+        p_value=empirical_p_value(real_value, ordered),
+    )

@@ -1,0 +1,19 @@
+"""Small shared utilities: timing, table rendering, validation."""
+
+from repro.utils.timing import Stopwatch, Timer
+from repro.utils.tables import format_table, format_series
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_non_negative,
+)
+
+__all__ = [
+    "Stopwatch",
+    "Timer",
+    "format_table",
+    "format_series",
+    "require",
+    "require_positive",
+    "require_non_negative",
+]

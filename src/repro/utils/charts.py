@@ -1,0 +1,68 @@
+"""Terminal charts for experiment series (no plotting dependencies).
+
+The paper's figures are line charts; in a terminal we render each series
+as horizontal bars scaled to the maximum value, one block per x-value.
+Used by the CLI's ``--chart`` flag so sweeps can be eyeballed without
+leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """One horizontal bar per (label, value), scaled to ``width`` columns."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels and values must have equal length "
+            f"({len(labels)} != {len(values)})"
+        )
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    peak = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    for label, value in zip(labels, values):
+        if peak <= 0:
+            filled = 0.0
+        else:
+            filled = max(0.0, value) / peak * width
+        whole = int(filled)
+        bar = _BAR * whole + (_HALF if filled - whole >= 0.5 else "")
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar} {value:g}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    x_values: Sequence[object],
+    lines: Dict[str, Sequence[float]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Bar-chart every series of a figure, one block per series."""
+    blocks = []
+    if title:
+        blocks.append(f"== {title} ==")
+    for name, values in lines.items():
+        blocks.append(
+            bar_chart(
+                x_values[: len(values)], list(values), width=width, title=name
+            )
+        )
+        blocks.append("")
+    return "\n".join(blocks).rstrip()

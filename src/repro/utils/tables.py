@@ -1,0 +1,90 @@
+"""Plain-text table and series rendering for the experiment harness.
+
+The experiment modules print the same rows/series the paper reports; these
+helpers render them as aligned ASCII (default) or GitHub markdown, which is
+what EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    markdown: bool = False,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` cells.
+    markdown:
+        When true, emit a GitHub-flavoured markdown table instead of the
+        ASCII layout.
+    """
+    header_cells = [str(h) for h in headers]
+    str_rows = []
+    for row in rows:
+        cells = [_stringify(c) for c in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(header_cells)}"
+            )
+        str_rows.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in str_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    if markdown:
+        lines = [
+            "| " + " | ".join(h.ljust(w) for h, w in zip(header_cells, widths)) + " |",
+            "|" + "|".join("-" * (w + 2) for w in widths) + "|",
+        ]
+        for cells in str_rows:
+            lines.append(
+                "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+            )
+        return "\n".join(lines)
+
+    sep = "  "
+    lines = [sep.join(h.ljust(w) for h, w in zip(header_cells, widths))]
+    lines.append(sep.join("-" * w for w in widths))
+    for cells in str_rows:
+        lines.append(sep.join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    markdown: bool = False,
+) -> str:
+    """Render one x-axis and several named y-series as a table.
+
+    This matches the figures in the paper that plot one line per motif: the
+    x axis (δ, φ, k, sample name) becomes the first column and each motif a
+    further column.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, markdown=markdown)

@@ -1,0 +1,79 @@
+"""Timing helpers used by the experiment harness and benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring wall-clock time of a block.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    499500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("elapsed", "_start")
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+class Stopwatch:
+    """Accumulating stopwatch for measuring several phases separately.
+
+    Each named phase accumulates the total time spent in blocks opened with
+    :meth:`measure`. Used by the engine to report P1 vs P2 time the way the
+    paper does (Table 4 reports phase-1 time alone).
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+
+    def measure(self, phase: str) -> "_PhaseContext":
+        """Return a context manager adding its duration to ``phase``."""
+        return _PhaseContext(self, phase)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Add ``seconds`` to the accumulated total of ``phase``."""
+        self._totals[phase] = self._totals.get(phase, 0.0) + seconds
+
+    def total(self, phase: str) -> float:
+        """Total seconds accumulated for ``phase`` (0.0 if never measured)."""
+        return self._totals.get(phase, 0.0)
+
+    def phases(self) -> dict[str, float]:
+        """A copy of all accumulated phase totals."""
+        return dict(self._totals)
+
+    def reset(self) -> None:
+        """Clear all accumulated totals."""
+        self._totals.clear()
+
+
+class _PhaseContext:
+    __slots__ = ("_watch", "_phase", "_start")
+
+    def __init__(self, watch: Stopwatch, phase: str) -> None:
+        self._watch = watch
+        self._phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._watch.add(self._phase, time.perf_counter() - self._start)

@@ -1,0 +1,39 @@
+"""Argument-validation helpers shared across the library.
+
+Errors are raised early with precise messages; the library never silently
+coerces invalid interaction data (a flow of zero or a NaN timestamp would
+corrupt instance flows downstream in ways that are very hard to debug).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+Number = Union[int, float]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: Number, name: str) -> None:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: Number, name: str) -> None:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")

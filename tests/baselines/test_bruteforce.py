@@ -1,0 +1,49 @@
+"""Sanity checks of the brute-force oracle itself (on hand-solved inputs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bruteforce import brute_force_instances
+from repro.core.motif import Motif
+from repro.graph.interaction import InteractionGraph
+
+
+class TestOracleOnHandSolvedInputs:
+    def test_figure4_instance(self, fig2_graph):
+        motif = Motif.cycle(3, delta=10, phi=7)
+        result = brute_force_instances(fig2_graph.to_time_series(), motif)
+        assert len(result) == 1
+        ((vertex_map, edge_sets),) = result
+        assert vertex_map == ("u3", "u1", "u2")
+        assert edge_sets == (
+            ((10, 10),),
+            ((13, 5), (15, 7)),
+            ((18, 20),),
+        )
+
+    def test_figure7_count(self, fig7_graph):
+        motif = Motif.cycle(3, delta=10, phi=0)
+        result = brute_force_instances(fig7_graph.to_time_series(), motif)
+        assert len(result) == 6  # 4 on the u3 rotation + 2 on others
+
+    def test_non_maximal_rejected(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 1, 1.0), ("a", "b", 2, 1.0), ("b", "c", 3, 1.0)]
+        )
+        motif = Motif.chain(3, delta=10, phi=0)
+        result = brute_force_instances(g.to_time_series(), motif)
+        # Only the instance taking BOTH (a,b) elements is maximal.
+        assert len(result) == 1
+        ((_, edge_sets),) = result
+        assert edge_sets[0] == ((1, 1.0), (2, 1.0))
+
+    def test_series_length_guard(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", float(t), 1.0) for t in range(20)]
+        )
+        motif = Motif.chain(2, delta=100, phi=0)
+        with pytest.raises(ValueError, match="too long"):
+            brute_force_instances(
+                g.to_time_series(), motif, max_series_elements=10
+            )

@@ -1,0 +1,86 @@
+"""The join-algorithm baseline (Section 6.2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.join import build_interval_tuples, join_find_instances
+from repro.core.enumeration import find_instances
+from repro.core.matching import find_structural_matches
+from repro.core.motif import Motif, paper_motifs
+from repro.graph.interaction import InteractionGraph
+
+
+def keys(instances):
+    return {
+        (i.vertex_map, tuple(tuple(sorted(r.items())) for r in i.runs))
+        for i in instances
+    }
+
+
+class TestIntervalTuples:
+    def test_runs_within_delta(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 0, 1.0), ("a", "b", 5, 2.0), ("a", "b", 20, 4.0)]
+        )
+        tuples = build_interval_tuples(g.to_time_series(), delta=6, phi=0)
+        spans = {(t.ts, t.te, t.flow) for t in tuples}
+        assert spans == {
+            (0, 0, 1.0), (5, 5, 2.0), (20, 20, 4.0), (0, 5, 3.0),
+        }
+
+    def test_phi_filter(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 0, 1.0), ("a", "b", 5, 2.0)]
+        )
+        tuples = build_interval_tuples(g.to_time_series(), delta=6, phi=2.5)
+        assert {(t.ts, t.te) for t in tuples} == {(0, 5)}
+
+    def test_tied_timestamps_grouped(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 5, 1.0), ("a", "b", 5, 2.0), ("a", "b", 7, 1.0)]
+        )
+        tuples = build_interval_tuples(g.to_time_series(), delta=10, phi=0)
+        # A run may not split a tie group: runs are {both@5}, {@7}, {all}.
+        assert {(t.lo, t.hi) for t in tuples} == {(0, 1), (2, 2), (0, 2)}
+
+
+class TestJoinEqualsTwoPhase:
+    def test_figure2(self, fig2_graph):
+        ts = fig2_graph.to_time_series()
+        motif = Motif.cycle(3, delta=10, phi=7)
+        matches = find_structural_matches(ts, motif)
+        assert keys(join_find_instances(ts, motif)) == keys(
+            find_instances(matches)
+        )
+
+    def test_figure7_all_phis(self, fig7_graph):
+        ts = fig7_graph.to_time_series()
+        for phi in (0, 3, 5, 8):
+            motif = Motif.cycle(3, delta=10, phi=phi)
+            matches = find_structural_matches(ts, motif)
+            assert keys(join_find_instances(ts, motif)) == keys(
+                find_instances(matches)
+            ), phi
+
+    def test_catalog_on_synthetic(self):
+        from repro.datasets.synthetic import planted_cascade_graph
+
+        graph, _ = planted_cascade_graph((0, 1, 2, 0), noise_edges=40)
+        ts = graph.to_time_series()
+        for name, motif in paper_motifs(delta=120, phi=1).items():
+            matches = find_structural_matches(ts, motif)
+            assert keys(join_find_instances(ts, motif)) == keys(
+                find_instances(matches)
+            ), name
+
+    def test_constraint_overrides(self, fig7_graph):
+        ts = fig7_graph.to_time_series()
+        motif = Motif.cycle(3, delta=999, phi=99)
+        joined = join_find_instances(ts, motif, delta=10, phi=0)
+        matches = find_structural_matches(ts, motif)
+        assert keys(joined) == keys(find_instances(matches, delta=10, phi=0))
+
+    def test_empty_graph(self):
+        ts = InteractionGraph().to_time_series()
+        assert join_find_instances(ts, Motif.chain(3, 10)) == []

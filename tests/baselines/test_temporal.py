@@ -1,0 +1,75 @@
+"""The flow-agnostic temporal-motif baseline ([14]-style)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.temporal import count_temporal_motif_instances
+from repro.core.motif import Motif
+from repro.graph.interaction import InteractionGraph
+
+
+class TestTemporalCounting:
+    def test_single_chain(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 1, 1.0), ("b", "c", 2, 1.0)]
+        )
+        motif = Motif.chain(3, delta=10)
+        assert count_temporal_motif_instances(g.to_time_series(), motif) == 1
+
+    def test_counts_single_edge_selections(self):
+        """Each choice of one edge per motif edge counts separately."""
+        g = InteractionGraph.from_tuples(
+            [
+                ("a", "b", 1, 1.0),
+                ("a", "b", 2, 1.0),
+                ("b", "c", 3, 1.0),
+                ("b", "c", 4, 1.0),
+            ]
+        )
+        motif = Motif.chain(3, delta=10)
+        # 2 choices for e1 × 2 for e2, all time-respecting.
+        assert count_temporal_motif_instances(g.to_time_series(), motif) == 4
+
+    def test_order_restricts_choices(self):
+        g = InteractionGraph.from_tuples(
+            [
+                ("a", "b", 1, 1.0),
+                ("a", "b", 5, 1.0),
+                ("b", "c", 3, 1.0),
+            ]
+        )
+        motif = Motif.chain(3, delta=10)
+        # Only (1 → 3); the (5, ·) edge is after the only (b,c) event.
+        assert count_temporal_motif_instances(g.to_time_series(), motif) == 1
+
+    def test_delta_restricts_choices(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 1, 1.0), ("b", "c", 50, 1.0)]
+        )
+        motif = Motif.chain(3, delta=10)
+        assert count_temporal_motif_instances(g.to_time_series(), motif) == 0
+
+    def test_cycle_counting(self, fig2_graph):
+        motif = Motif.cycle(3, delta=10)
+        count = count_temporal_motif_instances(
+            fig2_graph.to_time_series(), motif
+        )
+        # u3→u1 (10), u1→u2 (13 or 15), u2→u3 (18): two selections.
+        assert count == 2
+
+    def test_strict_order_blocks_ties(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 5, 1.0), ("b", "c", 5, 1.0)]
+        )
+        motif = Motif.chain(3, delta=10)
+        assert count_temporal_motif_instances(g.to_time_series(), motif) == 0
+
+    def test_delta_override(self, fig2_graph):
+        motif = Motif.cycle(3, delta=1)
+        assert (
+            count_temporal_motif_instances(
+                fig2_graph.to_time_series(), motif, delta=10
+            )
+            == 2
+        )

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FlowMotifEngine
+from repro.core.motif import Motif
+from repro.datasets.fixtures import (
+    figure1_graph,
+    figure2_graph,
+    figure7_match_graph,
+)
+
+
+@pytest.fixture
+def fig2_graph():
+    """The running-example bitcoin user graph (Figures 2/5)."""
+    return figure2_graph()
+
+
+@pytest.fixture
+def fig7_graph():
+    """The Figure 7 / Table 2 triangle-match graph."""
+    return figure7_match_graph()
+
+
+@pytest.fixture
+def fig1_graph():
+    """The introduction's toy multigraph (Figure 1)."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def fig2_engine(fig2_graph):
+    return FlowMotifEngine(fig2_graph)
+
+
+@pytest.fixture
+def fig7_engine(fig7_graph):
+    return FlowMotifEngine(fig7_graph)
+
+
+@pytest.fixture
+def triangle():
+    """M(3,3) with the Figure 4 constraints (δ=10, φ=7)."""
+    return Motif.cycle(3, delta=10, phi=7)
+
+
+@pytest.fixture
+def triangle_phi0():
+    """M(3,3) with δ=10 and no flow constraint (Figure 7 walkthrough)."""
+    return Motif.cycle(3, delta=10, phi=0)

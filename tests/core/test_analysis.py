@@ -1,0 +1,79 @@
+"""Activity analysis (grouping per structural match, timelines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    activity_timeline,
+    group_by_match,
+    group_by_vertices,
+    rank_matches_by_activity,
+)
+from repro.core.engine import FlowMotifEngine
+from repro.core.motif import Motif
+from repro.datasets.fixtures import figure7_match_graph
+
+
+@pytest.fixture
+def instances():
+    engine = FlowMotifEngine(figure7_match_graph())
+    return engine.find_instances(Motif.cycle(3, delta=10, phi=0)).instances
+
+
+class TestGrouping:
+    def test_groups_partition_instances(self, instances):
+        groups = group_by_vertices(instances)
+        assert sum(len(g) for g in groups.values()) == len(instances)
+        # Figure 7's graph: 3 rotations of one triangle are active.
+        assert ("u3", "u1", "u2") in groups
+        assert len(groups[("u3", "u1", "u2")]) == 4
+
+    def test_profiles(self, instances):
+        profiles = {p.vertices: p for p in group_by_match(instances)}
+        p = profiles[("u3", "u1", "u2")]
+        assert p.num_instances == 4
+        assert p.max_flow == 5.0
+        assert p.total_flow == pytest.approx(3 + 5 + 3 + 3)
+        assert p.first_start == 10
+        assert p.last_end == 25
+        assert p.active_span == 15
+
+    def test_ranking_by_count(self, instances):
+        top = rank_matches_by_activity(instances, by="num_instances", top=1)
+        assert top[0].vertices == ("u3", "u1", "u2")
+
+    def test_ranking_by_max_flow(self, instances):
+        top = rank_matches_by_activity(instances, by="max_flow", top=3)
+        flows = [p.max_flow for p in top]
+        assert flows == sorted(flows, reverse=True)
+
+    def test_invalid_key(self, instances):
+        with pytest.raises(ValueError, match="by must be"):
+            rank_matches_by_activity(instances, by="magic")
+
+    def test_empty_input(self):
+        assert group_by_match([]) == []
+        assert rank_matches_by_activity([]) == []
+
+
+class TestTimeline:
+    def test_buckets(self, instances):
+        timeline = activity_timeline(instances, bucket_width=10.0)
+        starts = [t for t, _, _ in timeline]
+        assert starts == sorted(starts)
+        assert sum(count for _, count, _ in timeline) == len(instances)
+
+    def test_flow_totals(self, instances):
+        timeline = activity_timeline(instances, bucket_width=1000.0)
+        [(_, count, flow)] = timeline
+        assert count == len(instances)
+        assert flow == pytest.approx(sum(i.flow for i in instances))
+
+    def test_invalid_bucket(self, instances):
+        with pytest.raises(ValueError, match="bucket_width"):
+            activity_timeline(instances, bucket_width=0)
+
+    def test_origin_shift(self, instances):
+        timeline = activity_timeline(instances, bucket_width=10.0, origin=5.0)
+        assert all((t - 5.0) % 10.0 == 0 for t, _, _ in timeline)

@@ -1,0 +1,76 @@
+"""Counting without construction must agree with full enumeration."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.counting import count_instances, count_instances_in_match
+from repro.core.enumeration import find_instances
+from repro.core.matching import find_structural_matches
+from repro.core.motif import Motif, paper_motifs
+from repro.graph.interaction import InteractionGraph
+
+
+def random_graph(seed, nodes=6, events=40, horizon=50):
+    rng = random.Random(seed)
+    g = InteractionGraph()
+    for _ in range(events):
+        src = rng.randrange(nodes)
+        dst = rng.randrange(nodes)
+        while dst == src:
+            dst = rng.randrange(nodes)
+        g.add_interaction(src, dst, rng.uniform(0, horizon), rng.uniform(0.5, 5))
+    return g
+
+
+class TestCountMatchesEnumeration:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_chain(self, seed):
+        g = random_graph(seed)
+        motif = Motif.chain(3, delta=12, phi=2)
+        ts = g.to_time_series()
+        matches = find_structural_matches(ts, motif)
+        assert count_instances(matches) == len(find_instances(matches))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graphs_cycle(self, seed):
+        g = random_graph(seed, nodes=5, events=50)
+        motif = Motif.cycle(3, delta=15, phi=1)
+        ts = g.to_time_series()
+        matches = find_structural_matches(ts, motif)
+        assert count_instances(matches) == len(find_instances(matches))
+
+    def test_figure7(self, fig7_graph):
+        motif = Motif.cycle(3, delta=10, phi=0)
+        ts = fig7_graph.to_time_series()
+        matches = find_structural_matches(ts, motif)
+        assert count_instances(matches) == len(find_instances(matches)) == 6
+
+    @pytest.mark.parametrize("phi", [0, 2, 5, 9])
+    def test_phi_variation(self, fig7_graph, phi):
+        motif = Motif.cycle(3, delta=10, phi=phi)
+        ts = fig7_graph.to_time_series()
+        matches = find_structural_matches(ts, motif)
+        assert count_instances(matches) == len(find_instances(matches))
+
+    def test_per_match_counts_sum(self, fig7_graph):
+        motif = Motif.cycle(3, delta=10, phi=0)
+        ts = fig7_graph.to_time_series()
+        matches = find_structural_matches(ts, motif)
+        assert count_instances(matches) == sum(
+            count_instances_in_match(m) for m in matches
+        )
+
+    def test_full_catalog_on_random_graph(self):
+        g = random_graph(99, nodes=8, events=60)
+        ts = g.to_time_series()
+        for name, motif in paper_motifs(delta=15, phi=1).items():
+            matches = find_structural_matches(ts, motif)
+            assert count_instances(matches) == len(
+                find_instances(matches)
+            ), name
+
+    def test_empty_matches(self):
+        assert count_instances([]) == 0

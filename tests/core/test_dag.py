@@ -1,0 +1,157 @@
+"""DAG motifs with forks and joins (the Section 7 generalization)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dag import GeneralMotif, find_dag_instances, iter_dag_matches
+from repro.core.enumeration import find_instances
+from repro.core.instance import is_valid_instance
+from repro.core.matching import find_structural_matches
+from repro.core.motif import Motif
+from repro.graph.interaction import InteractionGraph
+
+
+def random_graph(seed, nodes=6, events=50, horizon=50):
+    rng = random.Random(seed)
+    g = InteractionGraph()
+    for _ in range(events):
+        src = rng.randrange(nodes)
+        dst = rng.randrange(nodes)
+        while dst == src:
+            dst = rng.randrange(nodes)
+        g.add_interaction(src, dst, rng.uniform(0, horizon), rng.uniform(0.5, 5))
+    return g
+
+
+class TestGeneralMotifModel:
+    def test_normalization(self):
+        m = GeneralMotif([("u", "v"), ("u", "w")], delta=5)
+        assert m.edges == ((0, 1), (0, 2))
+        assert m.num_vertices == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GeneralMotif([], delta=5)
+
+    def test_interface_compatible_with_motif(self):
+        m = GeneralMotif([("a", "b"), ("b", "c")], delta=5, phi=1)
+        assert m.edge(0) == (0, 1)
+        assert m.num_edges == 2
+        assert m.delta == 5 and m.phi == 1
+
+
+class TestDagMatching:
+    def test_fork_join_match(self):
+        g = InteractionGraph.from_tuples(
+            [
+                ("u", "v", 1, 1.0),
+                ("u", "w", 2, 1.0),
+                ("v", "x", 3, 1.0),
+                ("w", "x", 4, 1.0),
+            ]
+        )
+        motif = GeneralMotif(
+            [("u", "v"), ("u", "w"), ("v", "x"), ("w", "x")], delta=10
+        )
+        matches = list(iter_dag_matches(g.to_time_series(), motif))
+        vertex_maps = {m.vertex_map for m in matches}
+        assert ("u", "v", "w", "x") in vertex_maps
+        # The symmetric relabeling (v ↔ w) is also a distinct match.
+        assert ("u", "w", "v", "x") in vertex_maps
+        assert len(matches) == 2
+
+    def test_injectivity(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 1, 1.0), ("b", "a", 2, 1.0)]
+        )
+        # Fork u→v, u→w requires two distinct targets.
+        motif = GeneralMotif([("u", "v"), ("u", "w")], delta=10)
+        assert list(iter_dag_matches(g.to_time_series(), motif)) == []
+
+    def test_path_motifs_match_dfs_matcher(self):
+        g = random_graph(5)
+        ts = g.to_time_series()
+        path_motif = Motif.cycle(3, delta=10)
+        dag_motif = GeneralMotif([(0, 1), (1, 2), (2, 0)], delta=10)
+        path_maps = {
+            m.vertex_map for m in find_structural_matches(ts, path_motif)
+        }
+        dag_maps = {m.vertex_map for m in iter_dag_matches(ts, dag_motif)}
+        assert path_maps == dag_maps
+
+
+class TestDagEnumeration:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_path_shaped_dag_equals_path_engine(self, seed):
+        """On path-shaped motifs the DAG engine must reproduce the paper
+        engine exactly (same instances, same flows)."""
+        g = random_graph(seed)
+        ts = g.to_time_series()
+        path_motif = Motif.chain(3, delta=12, phi=1)
+        dag_motif = GeneralMotif([(0, 1), (1, 2)], delta=12, phi=1)
+        path_matches = find_structural_matches(ts, path_motif)
+        expected = {
+            (i.vertex_map, tuple(tuple(sorted(r.items())) for r in i.runs))
+            for i in find_instances(path_matches)
+        }
+        actual = {
+            (i.vertex_map, tuple(tuple(sorted(r.items())) for r in i.runs))
+            for i in find_dag_instances(ts, dag_motif)
+        }
+        assert actual == expected
+
+    def test_fork_join_instance(self):
+        g = InteractionGraph.from_tuples(
+            [
+                ("u", "v", 1, 5.0),
+                ("u", "w", 2, 4.0),
+                ("v", "x", 3, 5.0),
+                ("w", "x", 4, 4.0),
+            ]
+        )
+        ts = g.to_time_series()
+        motif = GeneralMotif(
+            [("u", "v"), ("u", "w"), ("v", "x"), ("w", "x")], delta=10, phi=3
+        )
+        instances = find_dag_instances(ts, motif)
+        mine = [i for i in instances if i.vertex_map == ("u", "v", "w", "x")]
+        assert len(mine) == 1
+        inst = mine[0]
+        assert inst.flow == 4.0
+        ok, reason = is_valid_instance(inst, ts)
+        assert ok, reason
+
+    def test_total_order_is_enforced(self):
+        """Fork edges must still respect the global label order: if the
+        second fork edge fires before the first, there is no instance."""
+        g = InteractionGraph.from_tuples(
+            [
+                ("u", "v", 2, 5.0),
+                ("u", "w", 1, 4.0),  # before the (u, v) event → invalid
+                ("v", "x", 3, 5.0),
+                ("w", "x", 4, 4.0),
+            ]
+        )
+        motif = GeneralMotif(
+            [("u", "v"), ("u", "w"), ("v", "x"), ("w", "x")], delta=10
+        )
+        instances = find_dag_instances(g.to_time_series(), motif)
+        assert all(i.vertex_map != ("u", "v", "w", "x") for i in instances)
+
+    def test_phi_applies_per_edge(self):
+        g = InteractionGraph.from_tuples(
+            [
+                ("u", "v", 1, 5.0),
+                ("u", "w", 2, 1.0),
+                ("v", "x", 3, 5.0),
+                ("w", "x", 4, 5.0),
+            ]
+        )
+        motif = GeneralMotif(
+            [("u", "v"), ("u", "w"), ("v", "x"), ("w", "x")], delta=10, phi=3
+        )
+        instances = find_dag_instances(g.to_time_series(), motif)
+        assert all(i.vertex_map != ("u", "v", "w", "x") for i in instances)

@@ -1,0 +1,135 @@
+"""Edge cases and failure injection across the search stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FlowMotifEngine
+from repro.core.motif import Motif
+from repro.graph.interaction import InteractionGraph
+
+
+class TestMotifFromString:
+    def test_catalog_name(self):
+        m = Motif.from_string("M(4,4)B", delta=10, phi=2)
+        assert m.spanning_path == (0, 1, 2, 0, 3)
+        assert m.name == "M(4,4)B"
+
+    def test_dashed_path(self):
+        m = Motif.from_string("0-1-2-0", delta=10)
+        assert m.spanning_path == (0, 1, 2, 0)
+
+    def test_dashed_path_arbitrary_labels(self):
+        m = Motif.from_string("a-b-a", delta=10)
+        assert m.spanning_path == (0, 1, 0)
+
+    def test_whitespace_tolerated(self):
+        assert Motif.from_string(" M(3,3) ", delta=1).name == "M(3,3)"
+
+    @pytest.mark.parametrize("bad", ["", "justone", "M(9,9)", "-"])
+    def test_invalid_specs(self, bad):
+        with pytest.raises(ValueError, match="motif spec"):
+            Motif.from_string(bad, delta=1)
+
+
+class TestDegenerateGraphs:
+    def test_motif_larger_than_graph(self):
+        g = InteractionGraph.from_tuples([("a", "b", 1, 1.0)])
+        engine = FlowMotifEngine(g)
+        assert engine.find_instances(Motif.chain(5, delta=10)).count == 0
+
+    def test_single_pair_many_events(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", float(t), 1.0) for t in range(30)]
+        )
+        engine = FlowMotifEngine(g)
+        result = engine.find_instances(Motif.chain(2, delta=5, phi=3))
+        assert result.count > 0
+        for inst in result.instances:
+            assert inst.runs[0].flow >= 3
+            assert inst.span <= 5
+
+    def test_self_loop_interactions(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "a", 1, 2.0), ("a", "b", 2, 3.0)]
+        )
+        engine = FlowMotifEngine(g)
+        loop_motif = Motif([0, 0], delta=10, phi=1)
+        result = engine.find_instances(loop_motif)
+        assert result.count == 1
+        assert result.instances[0].vertex_map == ("a",)
+
+    def test_phi_above_total_flow(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 1, 1.0), ("b", "c", 2, 1.0)]
+        )
+        engine = FlowMotifEngine(g)
+        assert engine.find_instances(Motif.chain(3, delta=10, phi=100)).count == 0
+
+    def test_delta_zero_multi_edge_motif(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 1, 1.0), ("b", "c", 1, 1.0)]
+        )
+        engine = FlowMotifEngine(g)
+        # Strict order cannot hold inside a zero-length window.
+        assert engine.find_instances(Motif.chain(3, delta=0)).count == 0
+
+    def test_delta_zero_single_edge_motif(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 1, 1.0), ("a", "b", 1, 2.0), ("a", "b", 5, 1.0)]
+        )
+        engine = FlowMotifEngine(g)
+        result = engine.find_instances(Motif.chain(2, delta=0))
+        keys = {tuple(sorted(i.runs[0].items())) for i in result.instances}
+        assert keys == {((1, 1.0), (1, 2.0)), ((5, 1.0),)}
+
+
+class TestNumericRobustness:
+    def test_float_flows_accumulate(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 1, 0.1), ("a", "b", 2, 0.2), ("b", "c", 3, 0.3)]
+        )
+        engine = FlowMotifEngine(g)
+        # 0.1 + 0.2 != 0.3 exactly in binary floats; the φ check uses the
+        # accumulated prefix sums consistently, so 0.3 either passes both
+        # edges or neither — here both pass at φ = 0.3 - 1e-12.
+        result = engine.find_instances(
+            Motif.chain(3, delta=10, phi=0.3 - 1e-12)
+        )
+        assert result.count == 1
+
+    def test_large_timestamps(self):
+        base = 1.7e12  # epoch-milliseconds territory
+        g = InteractionGraph.from_tuples(
+            [("a", "b", base + 1, 1.0), ("b", "c", base + 2, 1.0)]
+        )
+        engine = FlowMotifEngine(g)
+        assert engine.find_instances(Motif.chain(3, delta=10)).count == 1
+
+    def test_negative_timestamps(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", -10, 1.0), ("b", "c", -5, 1.0)]
+        )
+        engine = FlowMotifEngine(g)
+        assert engine.find_instances(Motif.chain(3, delta=10)).count == 1
+
+
+class TestLongMotifs:
+    def test_six_edge_chain(self):
+        g = InteractionGraph.from_tuples(
+            [(i, i + 1, float(i), 2.0) for i in range(6)]
+        )
+        engine = FlowMotifEngine(g)
+        motif = Motif(list(range(7)), delta=10, phi=1)
+        result = engine.find_instances(motif)
+        assert result.count == 1
+        assert result.instances[0].flow == 2.0
+
+    def test_deep_recursion_safe(self):
+        """A 12-edge motif path exercises recursion depth (still tiny)."""
+        g = InteractionGraph.from_tuples(
+            [(i, i + 1, float(i), 1.0) for i in range(12)]
+        )
+        engine = FlowMotifEngine(g)
+        motif = Motif(list(range(13)), delta=20, phi=0)
+        assert engine.find_instances(motif).count == 1

@@ -1,0 +1,159 @@
+"""MotifInstance, Definition 3.2 validation and Definition 3.3 maximality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import MotifInstance, Run, is_maximal, is_valid_instance
+from repro.core.motif import Motif
+from repro.graph.interaction import InteractionGraph
+
+
+@pytest.fixture
+def chain_graph():
+    return InteractionGraph.from_tuples(
+        [
+            ("a", "b", 1, 4.0),
+            ("a", "b", 2, 3.0),
+            ("b", "c", 3, 5.0),
+            ("b", "c", 6, 2.0),
+            ("b", "c", 30, 9.0),
+        ]
+    )
+
+
+@pytest.fixture
+def ts(chain_graph):
+    return chain_graph.to_time_series()
+
+
+def make_instance(ts, motif, specs):
+    """specs: list of ((src, dst), lo, hi) per motif edge."""
+    runs = tuple(Run(ts.series(*pair), lo, hi) for pair, lo, hi in specs)
+    vm = ("a", "b", "c")[: motif.num_vertices]
+    return MotifInstance(motif, vm, runs)
+
+
+class TestRun:
+    def test_flow_and_times(self, ts):
+        run = Run(ts.series("a", "b"), 0, 1)
+        assert run.flow == 7.0
+        assert run.first_time == 1 and run.last_time == 2
+        assert run.size == 2
+        assert run.items() == [(1, 4.0), (2, 3.0)]
+
+
+class TestMotifInstance:
+    def test_flow_is_min_over_edges(self, ts):
+        motif = Motif.chain(3, delta=10, phi=0)
+        inst = make_instance(
+            ts, motif, [(("a", "b"), 0, 1), (("b", "c"), 0, 1)]
+        )
+        assert inst.flow == 7.0  # min(7, 7)
+        assert inst.span == 5
+        assert inst.num_interactions == 4
+
+    def test_wrong_run_count_rejected(self, ts):
+        motif = Motif.chain(3, delta=10)
+        with pytest.raises(ValueError, match="needs 2 runs"):
+            MotifInstance(motif, ("a", "b", "c"), (Run(ts.series("a", "b"), 0, 0),))
+
+    def test_wrong_vertex_count_rejected(self, ts):
+        motif = Motif.chain(3, delta=10)
+        runs = (Run(ts.series("a", "b"), 0, 0), Run(ts.series("b", "c"), 0, 0))
+        with pytest.raises(ValueError, match="mapped vertices"):
+            MotifInstance(motif, ("a", "b"), runs)
+
+    def test_equality_via_canonical_key(self, ts):
+        motif = Motif.chain(3, delta=10)
+        a = make_instance(ts, motif, [(("a", "b"), 0, 0), (("b", "c"), 0, 0)])
+        b = make_instance(ts, motif, [(("a", "b"), 0, 0), (("b", "c"), 0, 0)])
+        c = make_instance(ts, motif, [(("a", "b"), 0, 0), (("b", "c"), 0, 1)])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_as_dict_round_trip_fields(self, ts):
+        motif = Motif.chain(3, delta=10, phi=0)
+        inst = make_instance(ts, motif, [(("a", "b"), 0, 0), (("b", "c"), 0, 0)])
+        d = inst.as_dict()
+        assert d["vertices"] == ["a", "b", "c"]
+        assert d["edges"][0]["events"] == [(1, 4.0)]
+        assert d["edges"][1]["label"] == 2
+
+
+class TestIsValidInstance:
+    def make(self, ts, specs, delta=10, phi=0):
+        motif = Motif.chain(3, delta=delta, phi=phi)
+        return make_instance(ts, motif, specs), motif
+
+    def test_valid(self, ts):
+        inst, _ = self.make(ts, [(("a", "b"), 0, 1), (("b", "c"), 0, 1)])
+        ok, reason = is_valid_instance(inst, ts)
+        assert ok, reason
+
+    def test_order_violation_detected(self, ts):
+        # e2 run starts at t=3 but e1 run ends at t=2 — valid; flip to break:
+        inst, _ = self.make(ts, [(("a", "b"), 0, 1), (("b", "c"), 0, 1)])
+        bad = MotifInstance(inst.motif, inst.vertex_map, (inst.runs[1], inst.runs[0]))
+        ok, reason = is_valid_instance(bad, ts)
+        assert not ok
+
+    def test_duration_violation_detected(self, ts):
+        inst, _ = self.make(ts, [(("a", "b"), 0, 1), (("b", "c"), 0, 2)])
+        ok, reason = is_valid_instance(inst, ts)
+        assert not ok and "delta" in reason
+
+    def test_phi_violation_detected(self, ts):
+        inst, _ = self.make(ts, [(("a", "b"), 0, 1), (("b", "c"), 1, 1)], phi=3)
+        ok, reason = is_valid_instance(inst, ts)
+        assert not ok and "phi" in reason
+
+    def test_injectivity_violation_detected(self, ts):
+        motif = Motif.chain(3, delta=10)
+        runs = (Run(ts.series("a", "b"), 0, 0), Run(ts.series("b", "c"), 0, 0))
+        bad = MotifInstance(motif, ("a", "b", "a"), runs)
+        ok, reason = is_valid_instance(bad, ts)
+        assert not ok and "injective" in reason
+
+    def test_wrong_pair_detected(self, ts):
+        motif = Motif.chain(3, delta=10)
+        runs = (Run(ts.series("b", "c"), 0, 0), Run(ts.series("b", "c"), 1, 1))
+        bad = MotifInstance(motif, ("a", "b", "c"), runs)
+        ok, reason = is_valid_instance(bad, ts)
+        assert not ok
+
+    def test_constraint_overrides(self, ts):
+        inst, _ = self.make(ts, [(("a", "b"), 0, 1), (("b", "c"), 0, 1)])
+        ok, _ = is_valid_instance(inst, ts, delta=2)
+        assert not ok
+        ok, _ = is_valid_instance(inst, ts, delta=10, phi=100)
+        assert not ok
+
+
+class TestIsMaximal:
+    def test_maximal_instance(self, ts):
+        motif = Motif.chain(3, delta=10, phi=0)
+        inst = make_instance(ts, motif, [(("a", "b"), 0, 1), (("b", "c"), 0, 1)])
+        assert is_maximal(inst)
+
+    def test_gap_makes_non_maximal(self, ts):
+        # Omitting (2, 3.0) from e1 leaves an addable element before e2@3.
+        motif = Motif.chain(3, delta=10, phi=0)
+        inst = make_instance(ts, motif, [(("a", "b"), 0, 0), (("b", "c"), 0, 1)])
+        assert not is_maximal(inst)
+
+    def test_delta_blocks_addition(self, ts):
+        # Window only covers t in [2..6]; (1,4.0) would stretch span to 5 — ok
+        # within delta=10 → non-maximal. With delta=4 it's blocked → maximal.
+        motif = Motif.chain(3, delta=4, phi=0)
+        inst = make_instance(ts, motif, [(("a", "b"), 1, 1), (("b", "c"), 0, 1)])
+        assert is_maximal(inst)
+        assert not is_maximal(inst, delta=10)
+
+    def test_order_blocks_addition(self, ts):
+        # e1 = {(2,3)}, e2 = {(3,5)}: (1,4) is before e2's first, addable →
+        # non-maximal; but if e1 also had (1,4) the instance is maximal
+        # (next candidate (6,2) for e2 is included, (30,9) violates delta).
+        motif = Motif.chain(3, delta=10, phi=0)
+        non_max = make_instance(ts, motif, [(("a", "b"), 1, 1), (("b", "c"), 0, 0)])
+        assert not is_maximal(non_max)

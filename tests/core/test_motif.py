@@ -1,0 +1,121 @@
+"""Motif model and the Figure 3 catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.motif import Motif, PAPER_MOTIF_PATHS, paper_motifs
+
+
+class TestMotifConstruction:
+    def test_normalizes_vertices(self):
+        m = Motif(["x", "y", "z", "x"], delta=10)
+        assert m.spanning_path == (0, 1, 2, 0)
+
+    def test_edges_in_label_order(self):
+        m = Motif([0, 1, 2, 0], delta=10)
+        assert m.edges == ((0, 1), (1, 2), (2, 0))
+
+    def test_counts(self):
+        m = Motif([0, 1, 2, 0, 3], delta=5)
+        assert m.num_edges == 4
+        assert m.num_vertices == 4
+
+    def test_too_short_path_rejected(self):
+        with pytest.raises(ValueError, match="at least one edge"):
+            Motif([0], delta=1)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError, match="delta"):
+            Motif([0, 1], delta=-1)
+
+    def test_negative_phi_rejected(self):
+        with pytest.raises(ValueError, match="phi"):
+            Motif([0, 1], delta=1, phi=-2)
+
+    def test_zero_delta_allowed(self):
+        assert Motif([0, 1], delta=0).delta == 0.0
+
+    def test_self_loop_path_allowed(self):
+        m = Motif([0, 0], delta=1)
+        assert m.edges == ((0, 0),)
+
+
+class TestMotifFactories:
+    def test_chain(self):
+        m = Motif.chain(4, delta=10, phi=2)
+        assert m.spanning_path == (0, 1, 2, 3)
+        assert m.name == "M(4,3)"
+        assert not m.is_cyclic
+
+    def test_cycle(self):
+        m = Motif.cycle(4, delta=10)
+        assert m.spanning_path == (0, 1, 2, 3, 0)
+        assert m.name == "M(4,4)"
+        assert m.is_cyclic
+
+    def test_chain_too_small(self):
+        with pytest.raises(ValueError):
+            Motif.chain(1, delta=1)
+
+    def test_from_labeled_edges(self):
+        m = Motif.from_labeled_edges([("a", "b"), ("b", "c"), ("c", "a")], delta=7)
+        assert m.spanning_path == (0, 1, 2, 0)
+
+    def test_from_labeled_edges_rejects_broken_path(self):
+        with pytest.raises(ValueError, match="must form a path"):
+            Motif.from_labeled_edges([("a", "b"), ("c", "d")], delta=7)
+
+    def test_with_constraints(self):
+        m = Motif.cycle(3, delta=10, phi=5)
+        m2 = m.with_constraints(phi=9)
+        assert m2.phi == 9 and m2.delta == 10
+        assert m.phi == 5  # original untouched
+        assert m2.name == m.name
+
+
+class TestMotifEquality:
+    def test_same_shape_same_constraints_equal(self):
+        assert Motif(["a", "b", "a"], delta=5) == Motif([7, 9, 7], delta=5)
+
+    def test_different_constraints_not_equal(self):
+        assert Motif([0, 1], delta=5) != Motif([0, 1], delta=6)
+        assert Motif([0, 1], delta=5, phi=1) != Motif([0, 1], delta=5, phi=2)
+
+    def test_hashable(self):
+        catalog = {Motif.cycle(3, 10): "tri"}
+        assert catalog[Motif([5, 6, 7, 5], 10)] == "tri"
+
+
+class TestPaperCatalog:
+    def test_ten_motifs_in_paper_order(self):
+        names = list(paper_motifs(600, 5))
+        assert names == [
+            "M(3,2)", "M(3,3)", "M(4,3)", "M(4,4)A", "M(4,4)B",
+            "M(4,4)C", "M(5,4)", "M(5,5)A", "M(5,5)B", "M(5,5)C",
+        ]
+
+    def test_names_match_sizes(self):
+        for name, motif in paper_motifs(1).items():
+            # e.g. "M(4,4)B" → 4 vertices, 4 edges.
+            inner = name[name.index("(") + 1 : name.index(")")]
+            vertices, edges = (int(x) for x in inner.split(","))
+            assert motif.num_vertices == vertices, name
+            assert motif.num_edges == edges, name
+
+    def test_all_paths_are_valid_spanning_paths(self):
+        for name, path in PAPER_MOTIF_PATHS.items():
+            motif = Motif(path, delta=1)
+            # Consecutive edges must chain.
+            for i in range(motif.num_edges - 1):
+                assert motif.edge(i)[1] == motif.edge(i + 1)[0], name
+
+    def test_constraints_applied(self):
+        for motif in paper_motifs(600, 5).values():
+            assert motif.delta == 600
+            assert motif.phi == 5
+
+    def test_variants_are_distinct_shapes(self):
+        catalog = paper_motifs(1)
+        shapes = {m.spanning_path for m in catalog.values()}
+        assert len(shapes) == len(catalog)

@@ -1,0 +1,83 @@
+"""Shared-prefix phase-2 evaluation must equal per-match enumeration."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.enumeration import find_instances
+from repro.core.matching import find_structural_matches
+from repro.core.motif import Motif, paper_motifs
+from repro.core.prefix_sharing import find_instances_shared
+from repro.graph.interaction import InteractionGraph
+
+
+def random_graph(seed, nodes=7, events=60, horizon=60):
+    rng = random.Random(seed)
+    g = InteractionGraph()
+    for _ in range(events):
+        src = rng.randrange(nodes)
+        dst = rng.randrange(nodes)
+        while dst == src:
+            dst = rng.randrange(nodes)
+        g.add_interaction(src, dst, rng.uniform(0, horizon), rng.uniform(0.5, 5))
+    return g
+
+
+def keys(instances):
+    return {i.canonical_key() for i in instances}
+
+
+class TestSharedEqualsPlain:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_chain(self, seed):
+        g = random_graph(seed)
+        motif = Motif.chain(3, delta=15, phi=1)
+        matches = find_structural_matches(g.to_time_series(), motif)
+        assert keys(find_instances_shared(matches)) == keys(
+            find_instances(matches)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cycle(self, seed):
+        g = random_graph(seed, nodes=5)
+        motif = Motif.cycle(3, delta=15, phi=0)
+        matches = find_structural_matches(g.to_time_series(), motif)
+        assert keys(find_instances_shared(matches)) == keys(
+            find_instances(matches)
+        )
+
+    def test_figure7(self, fig7_graph):
+        motif = Motif.cycle(3, delta=10, phi=0)
+        matches = find_structural_matches(fig7_graph.to_time_series(), motif)
+        assert keys(find_instances_shared(matches)) == keys(
+            find_instances(matches)
+        )
+
+    def test_full_catalog(self):
+        g = random_graph(123, nodes=8, events=80)
+        ts = g.to_time_series()
+        for name, motif in paper_motifs(delta=12, phi=1).items():
+            matches = find_structural_matches(ts, motif)
+            assert keys(find_instances_shared(matches)) == keys(
+                find_instances(matches)
+            ), name
+
+    def test_empty_matches(self):
+        assert find_instances_shared([]) == []
+
+    def test_streaming_callback(self, fig7_graph):
+        motif = Motif.cycle(3, delta=10, phi=0)
+        matches = find_structural_matches(fig7_graph.to_time_series(), motif)
+        seen = []
+        returned = find_instances_shared(matches, on_instance=seen.append)
+        assert returned == []
+        assert len(seen) == 6
+
+    def test_constraint_overrides(self, fig7_graph):
+        motif = Motif.cycle(3, delta=999, phi=99)
+        matches = find_structural_matches(fig7_graph.to_time_series(), motif)
+        shared = find_instances_shared(matches, delta=10, phi=5)
+        plain = find_instances(matches, delta=10, phi=5)
+        assert keys(shared) == keys(plain)

@@ -1,0 +1,134 @@
+"""Online detection must equal offline search, exactly once."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import FlowMotifEngine
+from repro.core.motif import Motif, paper_motifs
+from repro.core.streaming import StreamingDetector
+from repro.datasets.fixtures import figure7_match_graph
+from repro.graph.interaction import InteractionGraph
+
+
+def random_stream(seed, nodes=6, events=60, horizon=60):
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(events):
+        src = rng.randrange(nodes)
+        dst = rng.randrange(nodes)
+        while dst == src:
+            dst = rng.randrange(nodes)
+        stream.append((src, dst, rng.uniform(0, horizon), rng.uniform(0.5, 5)))
+    stream.sort(key=lambda e: e[2])
+    return stream
+
+
+def offline_keys(stream, motif):
+    graph = InteractionGraph.from_tuples(stream)
+    result = FlowMotifEngine(graph).find_instances(motif)
+    return {i.canonical_key() for i in result.instances}
+
+
+def streamed_keys(stream, motif, poll_every, seed=0):
+    detector = StreamingDetector(motif)
+    emitted = []
+    for i, (src, dst, t, f) in enumerate(stream):
+        detector.add(src, dst, t, f)
+        if poll_every and i % poll_every == 0:
+            emitted.extend(detector.poll())
+    emitted.extend(detector.flush())
+    keys = [i.canonical_key() for i in emitted]
+    assert len(keys) == len(set(keys)), "duplicate emission"
+    return set(keys)
+
+
+class TestStreamingEqualsOffline:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("poll_every", [1, 7, 0])
+    def test_chain(self, seed, poll_every):
+        stream = random_stream(seed)
+        motif = Motif.chain(3, delta=12, phi=2)
+        assert streamed_keys(stream, motif, poll_every) == offline_keys(
+            stream, motif
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cycle(self, seed):
+        stream = random_stream(seed, nodes=5)
+        motif = Motif.cycle(3, delta=15, phi=0)
+        assert streamed_keys(stream, motif, 5) == offline_keys(stream, motif)
+
+    def test_catalog_small_stream(self):
+        stream = random_stream(42, nodes=8, events=80)
+        for name, motif in paper_motifs(delta=12, phi=1).items():
+            assert streamed_keys(stream, motif, 10) == offline_keys(
+                stream, motif
+            ), name
+
+    def test_figure7_stream(self):
+        stream = sorted(
+            ((it.src, it.dst, it.time, it.flow)
+             for it in figure7_match_graph().interactions()),
+            key=lambda e: e[2],
+        )
+        motif = Motif.cycle(3, delta=10, phi=0)
+        assert streamed_keys(stream, motif, 2) == offline_keys(stream, motif)
+        assert len(streamed_keys(stream, motif, 2)) == 6
+
+
+class TestStreamingBehaviour:
+    def test_poll_before_window_closes_is_empty(self):
+        detector = StreamingDetector(Motif.chain(3, delta=10, phi=0))
+        detector.add("a", "b", 1, 5)
+        detector.add("b", "c", 3, 4)
+        assert detector.poll() == []  # window [1, 11] still open
+        detector.add("z", "w", 50, 1)
+        assert len(detector.poll()) == 1
+        assert detector.emitted_count == 1
+
+    def test_flush_without_later_events(self):
+        detector = StreamingDetector(Motif.chain(3, delta=10, phi=0))
+        detector.add("a", "b", 1, 5)
+        detector.add("b", "c", 3, 4)
+        flushed = detector.flush()
+        assert len(flushed) == 1
+        assert flushed[0].flow == 4
+
+    def test_out_of_order_rejected(self):
+        detector = StreamingDetector(Motif.chain(2, delta=10))
+        detector.add("a", "b", 5, 1)
+        with pytest.raises(ValueError, match="out-of-order"):
+            detector.add("a", "b", 4, 1)
+
+    def test_tie_with_watermark_allowed(self):
+        detector = StreamingDetector(Motif.chain(2, delta=10))
+        detector.add("a", "b", 5, 1)
+        detector.add("c", "d", 5, 1)  # equal timestamps are fine
+        assert detector.watermark == 5
+
+    def test_window_not_closed_at_exact_watermark(self):
+        """An event at exactly window end could still arrive (tied times);
+        the window must stay open until the watermark passes it."""
+        detector = StreamingDetector(Motif.chain(2, delta=4, phi=0))
+        detector.add("a", "b", 1, 2)
+        detector.add("x", "y", 5, 1)  # watermark == window end of [1, 5]
+        assert detector.poll() == []
+        detector.add("a", "b", 5, 3)  # lands inside [1, 5]!
+        detector.add("z", "w", 20, 1)
+        [instance] = [
+            i for i in detector.poll() if i.vertex_map == ("a", "b")
+        ]
+        assert instance.flow == 5.0  # both events aggregated
+
+    def test_empty_detector(self):
+        detector = StreamingDetector(Motif.chain(3, delta=10))
+        assert detector.poll() == []
+        assert detector.flush() == []
+
+    def test_invalid_flow_rejected(self):
+        detector = StreamingDetector(Motif.chain(2, delta=10))
+        with pytest.raises(ValueError, match="positive"):
+            detector.add("a", "b", 1, 0)

@@ -1,0 +1,112 @@
+"""Top-k search must equal the sorted prefix of full enumeration."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.enumeration import find_instances
+from repro.core.matching import find_structural_matches
+from repro.core.motif import Motif
+from repro.core.topk import TopKCollector, kth_instance_flow, top_k_instances
+from repro.graph.interaction import InteractionGraph
+
+
+def random_graph(seed, nodes=6, events=50, horizon=60):
+    rng = random.Random(seed)
+    g = InteractionGraph()
+    for _ in range(events):
+        src = rng.randrange(nodes)
+        dst = rng.randrange(nodes)
+        while dst == src:
+            dst = rng.randrange(nodes)
+        g.add_interaction(src, dst, rng.uniform(0, horizon), rng.uniform(0.5, 5))
+    return g
+
+
+class TestTopKCollector:
+    def test_keeps_best_k(self):
+        collector = TopKCollector(2)
+        flows = []
+
+        class Fake:
+            def __init__(self, f):
+                self.flow = f
+
+        for f in (1.0, 5.0, 3.0, 4.0):
+            collector.offer(Fake(f))
+        assert [i.flow for i in collector.results()] == [5.0, 4.0]
+        assert collector.kth_flow() == 4.0
+        assert collector.threshold == 4.0
+
+    def test_threshold_before_full(self):
+        collector = TopKCollector(3, floor=1.5)
+        assert collector.threshold == 1.5
+        assert collector.kth_flow() is None
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKCollector(0)
+
+
+class TestTopKAgainstEnumeration:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_flows_match_sorted_enumeration(self, seed, k):
+        g = random_graph(seed)
+        motif = Motif.chain(3, delta=15, phi=0)
+        ts = g.to_time_series()
+        matches = find_structural_matches(ts, motif)
+        all_flows = sorted(
+            (i.flow for i in find_instances(matches)), reverse=True
+        )
+        top = top_k_instances(matches, k)
+        assert [i.flow for i in top] == pytest.approx(all_flows[:k])
+
+    def test_results_sorted_descending(self):
+        g = random_graph(42)
+        motif = Motif.chain(3, delta=20, phi=0)
+        matches = find_structural_matches(g.to_time_series(), motif)
+        top = top_k_instances(matches, 8)
+        flows = [i.flow for i in top]
+        assert flows == sorted(flows, reverse=True)
+
+    def test_results_are_maximal_instances(self):
+        from repro.core.instance import is_maximal
+
+        g = random_graph(7)
+        motif = Motif.chain(3, delta=15, phi=0)
+        matches = find_structural_matches(g.to_time_series(), motif)
+        for inst in top_k_instances(matches, 5):
+            assert is_maximal(inst, delta=15)
+
+    def test_fewer_instances_than_k(self, fig7_graph):
+        motif = Motif.cycle(3, delta=10, phi=0)
+        matches = find_structural_matches(fig7_graph.to_time_series(), motif)
+        top = top_k_instances(matches, 100)
+        assert len(top) == len(find_instances(matches))
+
+    def test_kth_instance_flow(self, fig7_graph):
+        motif = Motif.cycle(3, delta=10, phi=0)
+        matches = find_structural_matches(fig7_graph.to_time_series(), motif)
+        assert kth_instance_flow(matches, 1) == 5.0
+        # 6 instances exist in total; k beyond that returns the worst flow.
+        all_flows = sorted(
+            (i.flow for i in find_instances(matches)), reverse=True
+        )
+        assert kth_instance_flow(matches, 3) == all_flows[2]
+        assert kth_instance_flow(matches, 50) == all_flows[-1]
+
+    def test_no_instances(self):
+        g = InteractionGraph.from_tuples([("a", "b", 1, 1.0)])
+        motif = Motif.chain(3, delta=10, phi=0)
+        matches = find_structural_matches(g.to_time_series(), motif)
+        assert top_k_instances(matches, 3) == []
+        assert kth_instance_flow(matches, 1) is None
+
+    def test_delta_override(self, fig7_graph):
+        motif = Motif.cycle(3, delta=999, phi=0)
+        matches = find_structural_matches(fig7_graph.to_time_series(), motif)
+        top = top_k_instances(matches, 1, delta=10)
+        assert top[0].flow == 5.0

@@ -1,0 +1,38 @@
+"""The paper-example fixtures themselves."""
+
+from __future__ import annotations
+
+from repro.datasets.fixtures import (
+    figure1_graph,
+    figure2_graph,
+    figure7_match_graph,
+)
+
+
+class TestFigure2Fixture:
+    def test_edge_inventory(self):
+        g = figure2_graph()
+        assert g.num_nodes == 4
+        assert g.num_edges == 10
+        assert g.num_connected_pairs == 7
+
+    def test_series_contents(self):
+        ts = figure2_graph().to_time_series()
+        assert list(ts.series("u1", "u2")) == [(13, 5), (15, 7)]
+        assert list(ts.series("u3", "u1")) == [(10, 10)]
+        assert list(ts.series("u4", "u3")) == [(19, 5), (21, 4)]
+
+
+class TestFigure7Fixture:
+    def test_series_match_paper(self):
+        ts = figure7_match_graph().to_time_series()
+        assert list(ts.series("u3", "u1")) == [(10, 5), (13, 2), (15, 3), (18, 7)]
+        assert list(ts.series("u1", "u2")) == [(9, 4), (11, 3), (16, 3)]
+        assert list(ts.series("u2", "u3")) == [(14, 4), (19, 6), (24, 3), (25, 2)]
+
+
+class TestFigure1Fixture:
+    def test_shape(self):
+        g = figure1_graph()
+        assert g.num_nodes == 4
+        assert g.num_edges == 7

@@ -1,0 +1,128 @@
+"""Synthetic dataset generators: determinism, statistics, planted signal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FlowMotifEngine
+from repro.core.motif import Motif
+from repro.datasets.synthetic import (
+    DATASET_GENERATORS,
+    bitcoin_like,
+    facebook_like,
+    passenger_like,
+    planted_cascade_graph,
+)
+from repro.graph.statistics import dataset_statistics
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("generator", [bitcoin_like, facebook_like, passenger_like])
+    def test_same_seed_same_graph(self, generator):
+        a = generator(scale=0.3, seed=5)
+        b = generator(scale=0.3, seed=5)
+        assert a.interactions_sorted() == b.interactions_sorted()
+
+    @pytest.mark.parametrize("generator", [bitcoin_like, facebook_like, passenger_like])
+    def test_different_seed_different_graph(self, generator):
+        a = generator(scale=0.3, seed=5)
+        b = generator(scale=0.3, seed=6)
+        assert a.interactions_sorted() != b.interactions_sorted()
+
+
+class TestStatisticalShape:
+    def test_bitcoin_statistics(self):
+        stats = dataset_statistics(bitcoin_like())
+        # Paper: avg flow/edge ≈ 4.85, sparse, rare parallel edges.
+        assert 3.0 <= stats.average_flow <= 8.0
+        assert stats.edges_per_pair < 2.0
+        assert stats.density < 0.05
+
+    def test_facebook_statistics(self):
+        stats = dataset_statistics(facebook_like())
+        # Paper: avg flow ≈ 3.0 (30 s interaction counts).
+        assert 2.0 <= stats.average_flow <= 5.0
+        assert stats.edges_per_pair >= 1.5
+
+    def test_facebook_flows_are_integral_counts(self):
+        g = facebook_like(scale=0.4)
+        assert all(float(it.flow).is_integer() for it in g.interactions())
+
+    def test_facebook_timestamps_bucketed(self):
+        g = facebook_like(scale=0.4)
+        assert all(it.time % 30.0 == 0.0 for it in g.interactions())
+
+    def test_passenger_statistics(self):
+        stats = dataset_statistics(passenger_like())
+        # Paper: avg flow ≈ 1.9 passengers; ours runs slightly leaner (1.3+)
+        # to keep the flow constraint statistically binding (DESIGN.md §2).
+        assert 1.2 <= stats.average_flow <= 2.5
+        assert stats.num_nodes < 100
+
+    def test_passenger_flows_are_passenger_counts(self):
+        g = passenger_like(scale=0.4)
+        flows = {it.flow for it in g.interactions()}
+        assert all(f >= 1 and float(f).is_integer() for f in flows)
+
+    def test_scale_shrinks_graph(self):
+        small = bitcoin_like(scale=0.2)
+        full = bitcoin_like(scale=1.0)
+        assert small.num_edges < full.num_edges
+        assert small.num_nodes < full.num_nodes
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        assert list(DATASET_GENERATORS) == ["Bitcoin", "Facebook", "Passenger"]
+        for generator, delta, phi in DATASET_GENERATORS.values():
+            assert callable(generator)
+            assert delta > 0 and phi > 0
+
+
+class TestPlantedCascade:
+    def test_planted_chain_is_found(self):
+        graph, events = planted_cascade_graph((0, 1, 2, 3), seed=4)
+        engine = FlowMotifEngine(graph)
+        motif = Motif.chain(4, delta=100, phi=10)
+        result = engine.find_instances(motif)
+        planted_first_events = {hop[0][0] for hop in events}
+        found = False
+        for inst in result.instances:
+            if inst.vertex_map == (0, 1, 2, 3):
+                times = {run.first_time for run in inst.runs}
+                if planted_first_events <= times:
+                    found = True
+        assert found, "planted cascade not recovered"
+
+    def test_planted_cycle_is_found(self):
+        graph, _ = planted_cascade_graph((0, 1, 2, 0), seed=9)
+        engine = FlowMotifEngine(graph)
+        motif = Motif.cycle(3, delta=100, phi=10)
+        result = engine.find_instances(motif)
+        assert any(i.vertex_map == (0, 1, 2) for i in result.instances)
+
+    def test_cascade_flow_conservation(self):
+        _, events = planted_cascade_graph((0, 1, 2, 3), seed=4, amount=50.0)
+        hop_totals = [sum(f for _, f in hop) for hop in events]
+        # loss=0.0 in the fixture: every hop forwards the full amount.
+        for total in hop_totals:
+            assert total == pytest.approx(50.0)
+
+    def test_cascade_hops_are_time_ordered(self):
+        _, events = planted_cascade_graph((0, 1, 2, 3, 0), seed=11)
+        for earlier, later in zip(events, events[1:]):
+            assert max(t for t, _ in earlier) < min(t for t, _ in later)
+
+
+class TestCascadeSignal:
+    """Cascades make high-φ instances; noise alone does not."""
+
+    def test_instances_concentrate_on_planted_paths(self):
+        graph, _ = planted_cascade_graph(
+            (5, 6, 7), seed=2, noise_edges=60, amount=40.0
+        )
+        engine = FlowMotifEngine(graph)
+        motif = Motif.chain(3, delta=100, phi=20)
+        result = engine.find_instances(motif)
+        assert result.count >= 1
+        assert all(i.vertex_map == (5, 6, 7) for i in result.instances)

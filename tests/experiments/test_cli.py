@@ -1,0 +1,90 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.fixtures import figure2_graph
+from repro.graph.io import write_csv
+
+
+class TestExperimentCommands:
+    def test_table3(self, capsys):
+        code = main(["table3", "--scale", "0.15", "--datasets", "Facebook"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Facebook" in out
+
+    def test_result_saved(self, tmp_path, capsys):
+        code = main(
+            [
+                "table3", "--scale", "0.15", "--datasets", "Facebook",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        saved = json.loads((tmp_path / "table3.json").read_text())
+        assert saved["name"] == "table3"
+
+    def test_motif_filter(self, capsys):
+        code = main(
+            [
+                "table4", "--scale", "0.15", "--datasets", "Facebook",
+                "--motifs", "M(3,2)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "M(3,2)" in out
+        assert "M(5,4)" not in out
+
+    def test_markdown_flag(self, capsys):
+        main(["table3", "--scale", "0.15", "--datasets", "Facebook", "--markdown"])
+        out = capsys.readouterr().out
+        assert "|" in out
+
+
+class TestFindCommand:
+    @pytest.fixture
+    def edges_file(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        write_csv(figure2_graph(), str(path))
+        return str(path)
+
+    def test_find_catalog_motif(self, edges_file, capsys):
+        code = main(
+            ["find", edges_file, "--motif", "M(3,3)", "--delta", "10",
+             "--phi", "7"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 instances" in out
+        record = json.loads(out.splitlines()[-1])
+        assert record["flow"] == 10.0
+
+    def test_find_custom_path(self, edges_file, capsys):
+        code = main(
+            ["find", edges_file, "--motif", "0-1-2-0", "--delta", "10",
+             "--phi", "7"]
+        )
+        assert code == 0
+        assert "1 instances" in capsys.readouterr().out
+
+    def test_find_top_k(self, edges_file, capsys):
+        code = main(
+            ["find", edges_file, "--motif", "M(3,3)", "--delta", "10",
+             "--top", "2"]
+        )
+        assert code == 0
+        assert "top" in capsys.readouterr().out
+
+    def test_bad_motif_spec(self, edges_file, capsys):
+        code = main(
+            ["find", edges_file, "--motif", "garbage", "--delta", "10"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,58 @@
+"""Interaction record validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.events import Interaction
+
+
+class TestInteractionValidation:
+    def test_valid_interaction_passes(self):
+        it = Interaction("a", "b", 1.5, 2.0)
+        assert it.validate() is it
+
+    def test_integer_nodes_allowed(self):
+        Interaction(1, 2, 0.0, 1.0).validate()
+
+    def test_zero_flow_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Interaction("a", "b", 1.0, 0.0).validate()
+
+    def test_negative_flow_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Interaction("a", "b", 1.0, -3.0).validate()
+
+    def test_nan_flow_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Interaction("a", "b", 1.0, math.nan).validate()
+
+    def test_infinite_time_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Interaction("a", "b", math.inf, 1.0).validate()
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Interaction("a", "b", math.nan, 1.0).validate()
+
+    def test_non_numeric_time_rejected(self):
+        with pytest.raises(ValueError, match="number"):
+            Interaction("a", "b", "soon", 1.0).validate()
+
+    def test_non_numeric_flow_rejected(self):
+        with pytest.raises(ValueError, match="number"):
+            Interaction("a", "b", 1.0, "big").validate()
+
+    def test_bool_flow_rejected(self):
+        with pytest.raises(ValueError, match="number"):
+            Interaction("a", "b", 1.0, True).validate()
+
+    def test_negative_time_allowed(self):
+        # The time domain is continuous and unrestricted.
+        Interaction("a", "b", -5.0, 1.0).validate()
+
+    def test_error_mentions_endpoints(self):
+        with pytest.raises(ValueError, match="a->b"):
+            Interaction("a", "b", 1.0, -1.0).validate()

@@ -1,0 +1,79 @@
+"""The InteractionGraph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.events import Interaction
+from repro.graph.interaction import InteractionGraph
+
+
+class TestConstruction:
+    def test_from_tuples(self):
+        g = InteractionGraph.from_tuples([("a", "b", 1, 2.0), ("b", "c", 3, 4.0)])
+        assert g.num_edges == 2
+        assert g.num_nodes == 3
+        assert g.num_connected_pairs == 2
+
+    def test_add_validates(self):
+        g = InteractionGraph()
+        with pytest.raises(ValueError, match="positive"):
+            g.add_interaction("a", "b", 1, 0.0)
+        assert g.num_edges == 0
+
+    def test_parallel_edges_counted(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 1, 1.0), ("a", "b", 2, 1.0), ("a", "b", 3, 1.0)]
+        )
+        assert g.num_edges == 3
+        assert g.num_connected_pairs == 1
+
+    def test_copy_is_independent(self):
+        g = InteractionGraph.from_tuples([("a", "b", 1, 1.0)])
+        h = g.copy()
+        h.add_interaction("b", "c", 2, 1.0)
+        assert g.num_edges == 1 and h.num_edges == 2
+
+
+class TestDerivedQuantities:
+    def test_time_span(self):
+        g = InteractionGraph.from_tuples([("a", "b", 5, 1.0), ("b", "c", 2, 1.0)])
+        assert g.time_span == (2, 5)
+
+    def test_time_span_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            InteractionGraph().time_span
+
+    def test_total_and_average_flow(self):
+        g = InteractionGraph.from_tuples([("a", "b", 1, 2.0), ("a", "b", 2, 4.0)])
+        assert g.total_flow == 6.0
+        assert g.average_flow == 3.0
+
+    def test_average_flow_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            InteractionGraph().average_flow
+
+    def test_interactions_sorted(self):
+        g = InteractionGraph.from_tuples(
+            [("b", "c", 5, 1.0), ("a", "b", 1, 1.0), ("a", "c", 3, 1.0)]
+        )
+        assert [it.time for it in g.interactions_sorted()] == [1, 3, 5]
+
+
+class TestTimeSeriesConversion:
+    def test_conversion_merges_pairs(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 3, 1.0), ("a", "b", 1, 2.0), ("b", "a", 2, 5.0)]
+        )
+        ts = g.to_time_series()
+        assert ts.num_series == 2
+        assert list(ts.series("a", "b")) == [(1, 2.0), (3, 1.0)]
+
+    def test_cache_invalidated_on_mutation(self):
+        g = InteractionGraph.from_tuples([("a", "b", 1, 1.0)])
+        first = g.to_time_series()
+        assert g.to_time_series() is first  # cached
+        g.add_interaction("b", "c", 2, 1.0)
+        second = g.to_time_series()
+        assert second is not first
+        assert second.num_series == 2

@@ -1,0 +1,108 @@
+"""Edge-list I/O: CSV/TSV/JSONL round-trips and malformed input."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.graph.interaction import InteractionGraph
+from repro.graph.io import (
+    InteractionFormatError,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def sample_graph():
+    return InteractionGraph.from_tuples(
+        [("u1", "u2", 13.0, 5.0), ("u1", "u2", 15.0, 7.0), (3, 4, 1.0, 0.5)]
+    )
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "edges.csv"
+        write_csv(sample_graph, str(path))
+        loaded = read_csv(str(path))
+        assert sorted(loaded.interactions_sorted(), key=repr) == sorted(
+            sample_graph.interactions_sorted(), key=repr
+        )
+
+    def test_integer_nodes_preserved(self, sample_graph, tmp_path):
+        path = tmp_path / "edges.csv"
+        write_csv(sample_graph, str(path))
+        loaded = read_csv(str(path))
+        assert (3, 4) in loaded.connected_pairs
+
+    def test_header_skipped(self):
+        content = "src,dst,time,flow\na,b,1,2\n"
+        assert read_csv(io.StringIO(content)).num_edges == 1
+
+    def test_no_header_works(self):
+        content = "a,b,1,2\nb,c,2,3\n"
+        assert read_csv(io.StringIO(content)).num_edges == 2
+
+    def test_tsv_sniffed(self):
+        content = "a\tb\t1\t2\n"
+        g = read_csv(io.StringIO(content))
+        assert ("a", "b") in g.connected_pairs
+
+    def test_comments_and_blanks_ignored(self):
+        content = "# edge list\n\na,b,1,2\n"
+        assert read_csv(io.StringIO(content)).num_edges == 1
+
+    def test_write_no_header(self, sample_graph):
+        buffer = io.StringIO()
+        write_csv(sample_graph, buffer, header=False)
+        first_line = buffer.getvalue().splitlines()[0]
+        assert first_line.split(",")[0] != "src"
+
+
+class TestCsvErrors:
+    def test_wrong_field_count_raises_with_line(self):
+        content = "a,b,1,2\na,b,1\n"
+        with pytest.raises(InteractionFormatError, match="line 2"):
+            read_csv(io.StringIO(content))
+
+    def test_bad_number_raises(self):
+        with pytest.raises(InteractionFormatError, match="line 1"):
+            read_csv(io.StringIO("a,b,not_a_time,2\n"))
+
+    def test_non_positive_flow_raises(self):
+        with pytest.raises(InteractionFormatError, match="positive"):
+            read_csv(io.StringIO("a,b,1,0\n"))
+
+    def test_skip_mode_drops_bad_rows(self):
+        content = "a,b,1,2\nbroken row\nb,c,2,3\n"
+        g = read_csv(io.StringIO(content), on_error="skip")
+        assert g.num_edges == 2
+
+    def test_invalid_on_error_value(self):
+        with pytest.raises(ValueError, match="on_error"):
+            read_csv(io.StringIO("a,b,1,2\n"), on_error="ignore")
+
+
+class TestJsonl:
+    def test_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "edges.jsonl"
+        write_jsonl(sample_graph, str(path))
+        loaded = read_jsonl(str(path))
+        assert sorted(loaded.interactions_sorted(), key=repr) == sorted(
+            sample_graph.interactions_sorted(), key=repr
+        )
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(InteractionFormatError, match="line 1"):
+            read_jsonl(io.StringIO("{not json}\n"))
+
+    def test_missing_key_raises(self):
+        with pytest.raises(InteractionFormatError):
+            read_jsonl(io.StringIO('{"src": "a", "dst": "b", "time": 1}\n'))
+
+    def test_skip_mode(self):
+        content = '{"src":"a","dst":"b","time":1,"flow":2}\n{bad}\n'
+        assert read_jsonl(io.StringIO(content), on_error="skip").num_edges == 1

@@ -1,0 +1,70 @@
+"""Dataset statistics (Table 3 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.interaction import InteractionGraph
+from repro.graph.statistics import (
+    dataset_statistics,
+    degree_distribution,
+    flow_distribution_quantiles,
+    inter_event_times,
+)
+
+
+@pytest.fixture
+def graph():
+    return InteractionGraph.from_tuples(
+        [
+            ("a", "b", 0, 1.0),
+            ("a", "b", 10, 3.0),
+            ("b", "c", 5, 2.0),
+            ("c", "a", 20, 6.0),
+        ]
+    )
+
+
+class TestDatasetStatistics:
+    def test_table3_columns(self, graph):
+        stats = dataset_statistics(graph)
+        assert stats.num_nodes == 3
+        assert stats.num_connected_pairs == 3
+        assert stats.num_edges == 4
+        assert stats.average_flow == 3.0
+        assert stats.edges_per_pair == pytest.approx(4 / 3)
+        assert stats.density == pytest.approx(3 / 6)
+        assert stats.time_span == 20
+
+    def test_as_dict(self, graph):
+        d = dataset_statistics(graph).as_dict()
+        assert d["num_nodes"] == 3
+        assert set(d) == {
+            "num_nodes", "num_connected_pairs", "num_edges", "average_flow",
+            "edges_per_pair", "density", "time_span",
+        }
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            dataset_statistics(InteractionGraph())
+
+
+class TestDistributions:
+    def test_degrees(self, graph):
+        degrees = degree_distribution(graph)
+        assert degrees["a"] == (1, 1)
+        assert degrees["b"] == (1, 1)
+        assert degrees["c"] == (1, 1)
+
+    def test_quantiles(self, graph):
+        q = flow_distribution_quantiles(graph, (0.0, 0.5, 0.99))
+        assert q[0.0] == 1.0
+        assert q[0.99] == 6.0
+
+    def test_invalid_quantile(self, graph):
+        with pytest.raises(ValueError):
+            flow_distribution_quantiles(graph, (1.5,))
+
+    def test_inter_event_times(self, graph):
+        gaps = inter_event_times(graph)
+        assert gaps == [10.0]  # only (a,b) has two events

@@ -1,0 +1,146 @@
+"""EdgeSeries and TimeSeriesGraph behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.events import Interaction
+from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+
+
+@pytest.fixture
+def series():
+    # Deliberately unsorted input; constructor must sort by time.
+    return EdgeSeries("u", "v", [15, 10, 13, 18], [7, 5, 2, 3])
+
+
+class TestEdgeSeriesConstruction:
+    def test_sorted_by_time(self, series):
+        assert series.times == [10, 13, 15, 18]
+        assert series.flows == [5, 2, 7, 3]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            EdgeSeries("u", "v", [1, 2], [1.0])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            EdgeSeries("u", "v", [], [])
+
+    def test_non_positive_flow_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            EdgeSeries("u", "v", [1, 2], [1.0, 0.0])
+
+    def test_stable_order_for_ties(self):
+        s = EdgeSeries("u", "v", [5, 5, 5], [1.0, 2.0, 3.0])
+        assert s.flows == [1.0, 2.0, 3.0]
+
+    def test_iteration_yields_pairs(self, series):
+        assert list(series) == [(10, 5), (13, 2), (15, 7), (18, 3)]
+
+    def test_equality_and_hash(self):
+        a = EdgeSeries("u", "v", [1, 2], [1.0, 2.0])
+        b = EdgeSeries("u", "v", [2, 1], [2.0, 1.0])  # same after sorting
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != EdgeSeries("u", "w", [1, 2], [1.0, 2.0])
+
+
+class TestEdgeSeriesQueries:
+    def test_total_flow(self, series):
+        assert series.total_flow == 17
+
+    def test_first_last_time(self, series):
+        assert series.first_time == 10
+        assert series.last_time == 18
+
+    def test_first_index_at_or_after(self, series):
+        assert series.first_index_at_or_after(10) == 0
+        assert series.first_index_at_or_after(10.5) == 1
+        assert series.first_index_at_or_after(18) == 3
+        assert series.first_index_at_or_after(19) == 4  # past the end
+
+    def test_first_index_after(self, series):
+        assert series.first_index_after(10) == 1
+        assert series.first_index_after(9.9) == 0
+        assert series.first_index_after(18) == 4
+
+    def test_last_index_at_or_before(self, series):
+        assert series.last_index_at_or_before(9) == -1
+        assert series.last_index_at_or_before(10) == 0
+        assert series.last_index_at_or_before(100) == 3
+
+    def test_flow_between_inclusive(self, series):
+        assert series.flow_between(0, 3) == 17
+        assert series.flow_between(1, 2) == 9
+        assert series.flow_between(2, 2) == 7
+
+    def test_flow_between_empty_range(self, series):
+        assert series.flow_between(2, 1) == 0.0
+
+    def test_flow_in_interval(self, series):
+        assert series.flow_in_interval(10, 15) == 14
+        assert series.flow_in_interval(11, 14) == 2
+        assert series.flow_in_interval(19, 30) == 0.0
+
+    def test_indices_in_interval(self, series):
+        assert series.indices_in_interval(13, 18) == (1, 3)
+        lo, hi = series.indices_in_interval(19, 30)
+        assert hi < lo
+
+    def test_items_range(self, series):
+        assert series.items(1, 2) == [(13, 2), (15, 7)]
+
+    def test_tied_timestamps_flow_queries(self):
+        s = EdgeSeries("u", "v", [5, 5, 7], [1.0, 2.0, 4.0])
+        assert s.flow_in_interval(5, 5) == 3.0
+        assert s.first_index_after(5) == 2
+
+
+class TestTimeSeriesGraph:
+    @pytest.fixture
+    def graph(self):
+        return TimeSeriesGraph.from_interactions(
+            [
+                Interaction("a", "b", 1, 1.0),
+                Interaction("a", "b", 3, 2.0),
+                Interaction("b", "c", 2, 5.0),
+                Interaction("c", "a", 4, 1.0),
+            ]
+        )
+
+    def test_series_lookup(self, graph):
+        s = graph.series("a", "b")
+        assert s is not None
+        assert list(s) == [(1, 1.0), (3, 2.0)]
+        assert graph.series("b", "a") is None
+
+    def test_counts(self, graph):
+        assert graph.num_nodes == 3
+        assert graph.num_series == 3
+        assert graph.num_events == 4
+
+    def test_adjacency(self, graph):
+        assert [s.dst for s in graph.out_series("a")] == ["b"]
+        assert [s.src for s in graph.in_series("a")] == ["c"]
+        assert graph.out_series("missing") == []
+
+    def test_has_edge(self, graph):
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("a", "c")
+
+    def test_all_series_deterministic(self, graph):
+        pairs = [(s.src, s.dst) for s in graph.all_series()]
+        assert pairs == sorted(pairs, key=repr)
+
+    def test_duplicate_series_rejected(self):
+        s1 = EdgeSeries("a", "b", [1], [1.0])
+        s2 = EdgeSeries("a", "b", [2], [2.0])
+        with pytest.raises(ValueError, match="duplicate"):
+            TimeSeriesGraph([s1, s2])
+
+    def test_empty_graph(self):
+        g = TimeSeriesGraph([])
+        assert g.num_nodes == 0
+        assert g.num_series == 0
+        assert g.all_series() == []

@@ -1,0 +1,122 @@
+"""Dataset transformations (bucketing, filtering, sampling, merging)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.interaction import InteractionGraph
+from repro.graph.transform import (
+    bucket_interactions,
+    filter_min_flow,
+    induced_subgraph,
+    merge_addresses,
+    relabel_nodes,
+    time_prefix,
+    time_prefix_samples,
+)
+
+
+class TestBucketing:
+    def test_aggregates_within_bucket(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 3, 1.0), ("a", "b", 17, 2.0), ("a", "b", 31, 4.0)]
+        )
+        out = bucket_interactions(g, 30.0)
+        series = out.to_time_series().series("a", "b")
+        assert list(series) == [(0.0, 3.0), (30.0, 4.0)]
+
+    def test_pairs_bucketed_independently(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 3, 1.0), ("b", "a", 4, 2.0)]
+        )
+        out = bucket_interactions(g, 30.0)
+        assert out.num_edges == 2
+
+    def test_origin_shifts_grid(self):
+        g = InteractionGraph.from_tuples([("a", "b", 29, 1.0)])
+        out = bucket_interactions(g, 30.0, origin=29.0)
+        assert [it.time for it in out.interactions()] == [29.0]
+
+    def test_negative_times_floor_correctly(self):
+        g = InteractionGraph.from_tuples([("a", "b", -1, 1.0)])
+        out = bucket_interactions(g, 30.0)
+        assert [it.time for it in out.interactions()] == [-30.0]
+
+    def test_invalid_width(self):
+        g = InteractionGraph.from_tuples([("a", "b", 1, 1.0)])
+        with pytest.raises(ValueError, match="bucket_seconds"):
+            bucket_interactions(g, 0)
+
+
+class TestFilters:
+    def test_min_flow_filter(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 1, 0.00005), ("a", "b", 2, 1.0)]
+        )
+        out = filter_min_flow(g, 0.0001)
+        assert out.num_edges == 1
+
+    def test_induced_subgraph(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 1, 1.0), ("b", "c", 2, 1.0), ("c", "a", 3, 1.0)]
+        )
+        out = induced_subgraph(g, {"a", "b"})
+        assert out.num_edges == 1
+        assert ("a", "b") in out.connected_pairs
+
+
+class TestTimePrefix:
+    @pytest.fixture
+    def spread_graph(self):
+        return InteractionGraph.from_tuples(
+            [("a", "b", float(t), 1.0) for t in range(0, 100, 10)]
+        )
+
+    def test_half_prefix(self, spread_graph):
+        out = time_prefix(spread_graph, 0.5)
+        assert all(it.time <= 45 for it in out.interactions())
+        assert out.num_edges == 5
+
+    def test_full_prefix_is_identity(self, spread_graph):
+        assert time_prefix(spread_graph, 1.0).num_edges == 10
+
+    def test_invalid_fraction(self, spread_graph):
+        with pytest.raises(ValueError):
+            time_prefix(spread_graph, 0.0)
+        with pytest.raises(ValueError):
+            time_prefix(spread_graph, 1.5)
+
+    def test_named_samples_grow(self, spread_graph):
+        samples = time_prefix_samples(
+            spread_graph, [0.25, 0.5, 1.0], ["S1", "S2", "S3"]
+        )
+        sizes = [g.num_edges for _, g in samples]
+        assert sizes == sorted(sizes)
+        assert [name for name, _ in samples] == ["S1", "S2", "S3"]
+
+    def test_mismatched_names(self, spread_graph):
+        with pytest.raises(ValueError, match="equal length"):
+            time_prefix_samples(spread_graph, [0.5], ["A", "B"])
+
+
+class TestRelabeling:
+    def test_relabel(self):
+        g = InteractionGraph.from_tuples([("a", "b", 1, 1.0)])
+        out = relabel_nodes(g, {"a": "x"})
+        assert ("x", "b") in out.connected_pairs
+
+    def test_merge_addresses_transitive(self):
+        g = InteractionGraph.from_tuples(
+            [("a1", "m", 1, 1.0), ("a2", "m", 2, 1.0), ("a3", "m", 3, 1.0)]
+        )
+        # a1+a2 co-spent, a2+a3 co-spent → one user controls all three.
+        out = merge_addresses(g, [["a1", "a2"], ["a2", "a3"]])
+        assert out.num_nodes == 2  # merged user + m
+        assert out.num_edges == 3  # parallel edges preserved
+
+    def test_merge_keeps_unrelated(self):
+        g = InteractionGraph.from_tuples(
+            [("a", "b", 1, 1.0), ("c", "d", 2, 1.0)]
+        )
+        out = merge_addresses(g, [["a", "c"]])
+        assert out.num_nodes == 3

@@ -1,0 +1,81 @@
+"""Property-based equivalence with the brute-force oracle.
+
+On random tiny graphs, the two-phase algorithm's output must equal the set
+of maximal instances computed directly from Definitions 3.2/3.3 by the
+exponential oracle of :mod:`repro.baselines.bruteforce` — for chains,
+cycles, varying δ/φ, and tied timestamps.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bruteforce import brute_force_instances
+from repro.core.enumeration import find_instances
+from repro.core.matching import find_structural_matches
+from repro.core.motif import Motif
+from repro.graph.interaction import InteractionGraph
+
+# Timestamps on a coarse grid so tied timestamps actually occur.
+times = st.integers(min_value=0, max_value=24).map(lambda v: v / 2.0)
+flows = st.sampled_from([0.5, 1.0, 2.0, 5.0])
+
+
+@st.composite
+def tiny_graphs(draw, max_events=11, num_nodes=4):
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+                times,
+                flows,
+            ).filter(lambda e: e[0] != e[1]),
+            min_size=2,
+            max_size=max_events,
+        )
+    )
+    return InteractionGraph.from_tuples(events)
+
+
+MOTIF_SHAPES = [
+    (0, 1),           # single edge
+    (0, 1, 2),        # chain of 3
+    (0, 1, 0),        # 2-cycle
+    (0, 1, 2, 0),     # triangle
+    (0, 1, 2, 3),     # chain of 4
+]
+
+motif_strategy = st.builds(
+    Motif,
+    st.sampled_from(MOTIF_SHAPES),
+    delta=st.sampled_from([2.0, 5.0, 10.0]),
+    phi=st.sampled_from([0.0, 1.0, 3.0]),
+)
+
+
+def fast_keys(graph, motif):
+    ts = graph.to_time_series()
+    matches = find_structural_matches(ts, motif)
+    instances = find_instances(matches)
+    return {
+        (i.vertex_map, tuple(tuple(sorted(r.items())) for r in i.runs))
+        for i in instances
+    }
+
+
+@settings(max_examples=120, deadline=None)
+@given(graph=tiny_graphs(), motif=motif_strategy)
+def test_two_phase_equals_brute_force(graph, motif):
+    expected = brute_force_instances(graph.to_time_series(), motif)
+    actual = fast_keys(graph, motif)
+    assert actual == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph=tiny_graphs(max_events=9, num_nodes=3), motif=motif_strategy)
+def test_two_phase_equals_brute_force_dense_pairs(graph, motif):
+    """Fewer nodes → longer per-pair series → multi-element edge-sets."""
+    expected = brute_force_instances(graph.to_time_series(), motif)
+    actual = fast_keys(graph, motif)
+    assert actual == expected

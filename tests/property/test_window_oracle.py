@@ -1,0 +1,71 @@
+"""The window iterator against a definition-level oracle.
+
+The skip rule's correctness argument (see :mod:`repro.core.windows`) is
+checked empirically: the set of instances obtained from the iterator's
+windows must equal the set of *maximal* instances obtained from ALL
+anchor windows (no skip rule) after maximality filtering — i.e. the rule
+removes exactly the redundant positions, never a productive one.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.enumeration import find_instances
+from repro.core.instance import is_maximal
+from repro.core.matching import find_structural_matches
+from repro.core.motif import Motif
+from repro.graph.interaction import InteractionGraph
+
+times = st.integers(min_value=0, max_value=40).map(float)
+flows = st.integers(min_value=1, max_value=6).map(float)
+
+
+@st.composite
+def graphs(draw):
+    num_nodes = draw(st.integers(3, 5))
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+                times,
+                flows,
+            ).filter(lambda e: e[0] != e[1]),
+            min_size=4,
+            max_size=30,
+        )
+    )
+    return InteractionGraph.from_tuples(events)
+
+
+MOTIFS = [
+    Motif((0, 1), delta=6.0, phi=0.0),
+    Motif((0, 1, 2), delta=8.0, phi=0.0),
+    Motif((0, 1, 2), delta=12.0, phi=4.0),
+    Motif((0, 1, 2, 0), delta=10.0, phi=0.0),
+]
+
+
+def keys(instances):
+    return {i.canonical_key() for i in instances}
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=graphs(), motif=st.sampled_from(MOTIFS))
+def test_skip_rule_removes_exactly_the_non_maximal(graph, motif):
+    matches = find_structural_matches(graph.to_time_series(), motif)
+    with_rule = find_instances(matches)
+    without_rule = find_instances(matches, skip_rule=False)
+    maximal_without = [
+        inst for inst in without_rule if is_maximal(inst, motif.delta)
+    ]
+    assert keys(with_rule) == keys(maximal_without)
+
+
+@settings(max_examples=80, deadline=None)
+@given(graph=graphs(), motif=st.sampled_from(MOTIFS))
+def test_with_rule_output_all_maximal(graph, motif):
+    matches = find_structural_matches(graph.to_time_series(), motif)
+    for inst in find_instances(matches):
+        assert is_maximal(inst, motif.delta)

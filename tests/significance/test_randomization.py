@@ -1,0 +1,96 @@
+"""Flow-permutation null model invariants."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.engine import FlowMotifEngine
+from repro.core.matching import find_structural_matches
+from repro.core.motif import Motif
+from repro.datasets.synthetic import planted_cascade_graph
+from repro.significance.randomization import permutation_ensemble, permute_flows
+
+
+@pytest.fixture
+def graph():
+    g, _ = planted_cascade_graph((0, 1, 2, 0), seed=6, noise_edges=40)
+    return g
+
+
+class TestPermutationInvariants:
+    def test_structure_preserved(self, graph):
+        permuted = permute_flows(graph, 1)
+        assert permuted.connected_pairs == graph.connected_pairs
+        assert permuted.num_edges == graph.num_edges
+
+    def test_timestamps_preserved(self, graph):
+        permuted = permute_flows(graph, 1)
+        original = sorted((it.src, it.dst, it.time) for it in graph.interactions())
+        shuffled = sorted((it.src, it.dst, it.time) for it in permuted.interactions())
+        assert original == shuffled
+
+    def test_flow_multiset_preserved(self, graph):
+        permuted = permute_flows(graph, 1)
+        assert Counter(it.flow for it in graph.interactions()) == Counter(
+            it.flow for it in permuted.interactions()
+        )
+
+    def test_seeded_determinism(self, graph):
+        a = permute_flows(graph, 42)
+        b = permute_flows(graph, 42)
+        assert a.interactions_sorted() == b.interactions_sorted()
+
+    def test_different_seeds_differ(self, graph):
+        a = permute_flows(graph, 1)
+        b = permute_flows(graph, 2)
+        assert a.interactions_sorted() != b.interactions_sorted()
+
+    def test_insertion_order_irrelevant(self, graph):
+        reversed_graph = type(graph)(list(graph.interactions())[::-1])
+        a = permute_flows(graph, 7)
+        b = permute_flows(reversed_graph, 7)
+        assert a.interactions_sorted() == b.interactions_sorted()
+
+
+class TestStructuralConsequences:
+    def test_same_structural_matches(self, graph):
+        motif = Motif.cycle(3, delta=100, phi=0)
+        original = find_structural_matches(graph.to_time_series(), motif)
+        permuted = find_structural_matches(
+            permute_flows(graph, 3).to_time_series(), motif
+        )
+        assert {m.vertex_map for m in original} == {
+            m.vertex_map for m in permuted
+        }
+
+    def test_phi_zero_counts_equal(self, graph):
+        """With φ=0, instance sets of G and G_r coincide (only flows moved)."""
+        motif = Motif.cycle(3, delta=100, phi=0)
+        real = FlowMotifEngine(graph).count_instances(motif).count
+        rand = (
+            FlowMotifEngine(permute_flows(graph, 3))
+            .count_instances(motif)
+            .count
+        )
+        assert real == rand
+
+
+class TestEnsemble:
+    def test_count_and_determinism(self, graph):
+        first = [g for g in permutation_ensemble(graph, count=3, seed=9)]
+        second = [g for g in permutation_ensemble(graph, count=3, seed=9)]
+        assert len(first) == 3
+        for a, b in zip(first, second):
+            assert a.interactions_sorted() == b.interactions_sorted()
+
+    def test_members_differ(self, graph):
+        members = list(permutation_ensemble(graph, count=3, seed=9))
+        assert (
+            members[0].interactions_sorted() != members[1].interactions_sorted()
+        )
+
+    def test_invalid_count(self, graph):
+        with pytest.raises(ValueError):
+            list(permutation_ensemble(graph, count=0))

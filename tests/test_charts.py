@@ -1,0 +1,57 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.charts import bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_scaling(self):
+        text = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_title(self):
+        text = bar_chart(["x"], [1.0], title="demo")
+        assert text.splitlines()[0] == "demo"
+
+    def test_zero_values(self):
+        text = bar_chart(["a", "b"], [0.0, 0.0])
+        assert "█" not in text
+
+    def test_half_block(self):
+        text = bar_chart(["a", "b"], [10.0, 0.5], width=10)
+        assert "▌" in text.splitlines()[1]
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError, match="width"):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_labels_aligned(self):
+        text = bar_chart(["a", "long"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestSeriesChart:
+    def test_all_series_rendered(self):
+        text = series_chart(
+            [200, 400], {"M(3,2)": [5.0, 9.0], "M(3,3)": [1.0, 2.0]},
+            title="fig9",
+        )
+        assert "== fig9 ==" in text
+        assert "M(3,2)" in text and "M(3,3)" in text
+
+    def test_short_series_truncates_x(self):
+        text = series_chart([1, 2, 3], {"a": [5.0]})
+        assert "2" not in text.splitlines()[-1]

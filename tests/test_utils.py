@@ -1,0 +1,92 @@
+"""Utility helpers: timing, tables, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+from repro.utils.timing import Stopwatch, Timer
+from repro.utils.validation import require, require_non_negative, require_positive
+
+
+class TestTimer:
+    def test_measures_nonnegative(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure("p1"):
+            pass
+        with watch.measure("p1"):
+            pass
+        with watch.measure("p2"):
+            pass
+        assert watch.total("p1") >= 0.0
+        assert set(watch.phases()) == {"p1", "p2"}
+        watch.reset()
+        assert watch.phases() == {}
+
+    def test_unknown_phase_is_zero(self):
+        assert Stopwatch().total("nothing") == 0.0
+
+
+class TestTables:
+    def test_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "long_header" in lines[0]
+
+    def test_markdown(self):
+        text = format_table(["x"], [[1]], markdown=True)
+        assert text.splitlines()[0] == "| x |"
+        assert text.splitlines()[1].startswith("|-")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456789]])
+        assert "1.235" in text
+
+    def test_series(self):
+        text = format_series("k", [1, 5], {"M(3,2)": [10, 8], "M(3,3)": [4, 2]})
+        lines = text.splitlines()
+        assert lines[0].split()[:1] == ["k"]
+        assert "M(3,2)" in lines[0] and "M(3,3)" in lines[0]
+        assert len(lines) == 4
+
+    def test_series_short_line_padded(self):
+        text = format_series("k", [1, 5], {"a": [10]})
+        assert text  # missing values render as blanks, no crash
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    @pytest.mark.parametrize("value", [1, 0.5, 1e9])
+    def test_positive_ok(self, value):
+        require_positive(value, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, float("nan"), float("inf")])
+    def test_positive_rejects(self, value):
+        with pytest.raises(ValueError):
+            require_positive(value, "x")
+
+    def test_positive_rejects_non_numbers(self):
+        with pytest.raises(TypeError):
+            require_positive("3", "x")
+        with pytest.raises(TypeError):
+            require_positive(True, "x")
+
+    def test_non_negative(self):
+        require_non_negative(0, "x")
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "x")
