@@ -35,6 +35,9 @@ Public API
   (:mod:`repro.core.streaming`).
 * :class:`GeneralMotif` — DAG motifs with forks/joins (:mod:`repro.core.dag`).
 * :mod:`repro.analysis` — per-match activity grouping and timelines.
+* :class:`ParallelFlowMotifEngine`, :class:`BatchRunner` — δ-overlap
+  time-sharded multi-worker search and multi-motif batch grids
+  (:mod:`repro.parallel`); also via ``FlowMotifEngine.parallel(jobs=N)``.
 """
 
 from repro.core.dag import GeneralMotif, find_dag_instances
@@ -46,10 +49,22 @@ from repro.core.motif import Motif, PAPER_MOTIF_PATHS, paper_motifs
 from repro.graph.events import Interaction
 from repro.graph.interaction import InteractionGraph
 from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+from repro.parallel import (
+    BatchRunner,
+    MotifConfig,
+    ParallelFlowMotifEngine,
+    TimeShard,
+    partition_time_range,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchRunner",
+    "MotifConfig",
+    "ParallelFlowMotifEngine",
+    "TimeShard",
+    "partition_time_range",
     "FlowMotifEngine",
     "GeneralMotif",
     "find_dag_instances",

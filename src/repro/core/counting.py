@@ -78,8 +78,14 @@ def count_instances_in_match(
     delta: Optional[float] = None,
     phi: Optional[float] = None,
     skip_rule: bool = True,
+    anchor_range: Optional[Tuple[float, float]] = None,
 ) -> int:
-    """Number of maximal instances of the motif within one structural match."""
+    """Number of maximal instances of the motif within one structural match.
+
+    ``anchor_range`` restricts counting to windows anchored in the half-open
+    interval ``[lo, hi)`` while still iterating earlier windows for skip-rule
+    state (the :mod:`repro.parallel` shard-ownership contract).
+    """
     motif = match.motif
     delta = motif.delta if delta is None else delta
     phi = motif.phi if phi is None else phi
@@ -90,6 +96,11 @@ def count_instances_in_match(
     for window in iter_maximal_windows(
         series_list[0], series_list[-1], delta, skip_rule=skip_rule
     ):
+        if anchor_range is not None:
+            if window.start >= anchor_range[1]:
+                break
+            if window.start < anchor_range[0]:
+                continue
         total += count_window_instances(series_list, window, phi)
     return total
 
@@ -99,9 +110,16 @@ def count_instances(
     delta: Optional[float] = None,
     phi: Optional[float] = None,
     skip_rule: bool = True,
+    anchor_range: Optional[Tuple[float, float]] = None,
 ) -> int:
     """Total maximal instance count across structural matches."""
     return sum(
-        count_instances_in_match(match, delta=delta, phi=phi, skip_rule=skip_rule)
+        count_instances_in_match(
+            match,
+            delta=delta,
+            phi=phi,
+            skip_rule=skip_rule,
+            anchor_range=anchor_range,
+        )
         for match in matches
     )

@@ -37,7 +37,7 @@ from repro.core.matching import (
 from repro.core.motif import Motif
 from repro.graph.interaction import InteractionGraph
 from repro.graph.timeseries import TimeSeriesGraph
-from repro.utils.timing import Timer
+from repro.utils.timing import ShardTimingReport, Timer
 
 
 @dataclass
@@ -54,8 +54,16 @@ class SearchResult:
         Number of instances found (also set when not collecting).
     num_matches:
         Number of phase-P1 structural matches (Table 4's "Instances").
+        Parallel runs report the sum of per-shard feasible match counts,
+        which can differ from the serial count (a match whose events span
+        several shards is examined by each of them).
     p1_seconds, p2_seconds:
-        Wall-clock time of the two phases.
+        Wall-clock time of the two phases. Parallel runs report aggregate
+        *work* (the sum over shards); the elapsed critical path lives in
+        ``shard_timings``.
+    shard_timings:
+        Per-shard breakdown of a parallel run (None for serial searches);
+        see :class:`repro.utils.timing.ShardTimingReport`.
     """
 
     motif: Motif
@@ -64,6 +72,7 @@ class SearchResult:
     num_matches: int = 0
     p1_seconds: float = 0.0
     p2_seconds: float = 0.0
+    shard_timings: Optional[ShardTimingReport] = None
 
     @property
     def total_seconds(self) -> float:
@@ -130,6 +139,34 @@ class FlowMotifEngine:
     def clear_cache(self) -> None:
         """Drop cached structural matches (e.g. after graph changes)."""
         self._match_cache.clear()
+
+    def parallel(
+        self,
+        jobs: Optional[int] = None,
+        shards: Optional[int] = None,
+        backend: str = "process",
+        partition_strategy: str = "events",
+    ):
+        """A :class:`~repro.parallel.ParallelFlowMotifEngine` over the same
+        graph — δ-overlap time-sharded search fanned out over ``jobs``
+        workers (see :mod:`repro.parallel`).
+
+        >>> g = InteractionGraph.from_tuples([("a", "b", 1.0, 5.0),
+        ...                                   ("b", "c", 2.0, 4.0)])
+        >>> engine = FlowMotifEngine(g)
+        >>> pengine = engine.parallel(jobs=1)
+        >>> pengine.find_instances(Motif.chain(3, delta=10, phi=0)).count
+        1
+        """
+        from repro.parallel.engine import ParallelFlowMotifEngine
+
+        return ParallelFlowMotifEngine(
+            self._ts,
+            jobs=jobs,
+            shards=shards,
+            backend=backend,
+            partition_strategy=partition_strategy,
+        )
 
     # ------------------------------------------------------------------
     # Phase P2 entry points

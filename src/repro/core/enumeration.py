@@ -149,6 +149,7 @@ def find_instances_in_match(
     on_instance: Optional[Callable[[MotifInstance], None]] = None,
     skip_rule: bool = True,
     prefix_pruning: bool = True,
+    anchor_range: Optional[Tuple[float, float]] = None,
 ) -> List[MotifInstance]:
     """All maximal instances of the motif within one structural match.
 
@@ -165,6 +166,12 @@ def find_instances_in_match(
         Ablation switches; leave at defaults for correct/efficient search.
         With ``prefix_pruning=False`` the φ test happens on complete
         assignments only (identical results, more work).
+    anchor_range:
+        Optional half-open interval ``[lo, hi)``: only windows whose anchor
+        (== the emitted instances' start time) falls inside it are
+        enumerated. Windows outside the range are still *iterated* so the
+        skip rule sees the same history as an unrestricted run — this is
+        what makes δ-overlap sharding (:mod:`repro.parallel`) exact.
     """
     motif = match.motif
     delta = motif.delta if delta is None else delta
@@ -187,6 +194,11 @@ def find_instances_in_match(
     for window in iter_maximal_windows(
         series_list[0], series_list[-1], delta, skip_rule=skip_rule
     ):
+        if anchor_range is not None:
+            if window.start >= anchor_range[1]:
+                break  # anchors are non-decreasing; nothing owned follows
+            if window.start < anchor_range[0]:
+                continue  # halo window: skip-rule state only
         enumerate_window_ranges(
             series_list, window, phi, emit, prefix_pruning=prefix_pruning
         )
@@ -200,6 +212,7 @@ def find_instances(
     on_instance: Optional[Callable[[MotifInstance], None]] = None,
     skip_rule: bool = True,
     prefix_pruning: bool = True,
+    anchor_range: Optional[Tuple[float, float]] = None,
 ) -> List[MotifInstance]:
     """All maximal instances across a set of structural matches (phase P2)."""
     collected: List[MotifInstance] = []
@@ -212,5 +225,6 @@ def find_instances(
             on_instance=sink,
             skip_rule=skip_rule,
             prefix_pruning=prefix_pruning,
+            anchor_range=anchor_range,
         )
     return collected

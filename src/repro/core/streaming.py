@@ -26,9 +26,12 @@ The union of all emissions equals the offline
    are therefore finalizable in anchor order, tracking the last processed
    anchor and its last-edge frontier per structural match.
 
-Complexity: each poll rebuilds the time-series view and structural matches
-of the grown graph (``O(|E| + matches)``); suitable for periodic polling,
-not per-event calls. An incremental matcher is a natural follow-up.
+Complexity: a poll that follows new interactions rebuilds the time-series
+view and structural matches of the grown graph (``O(|E| + matches)``);
+polls (and flushes) *without* intervening adds reuse the cached view and
+match list and cost only the per-match window scan. ``rebuild_count``
+exposes how many rebuilds actually happened (regression-tested). A fully
+incremental matcher is a natural follow-up.
 """
 
 from __future__ import annotations
@@ -81,6 +84,8 @@ class StreamingDetector:
         self._watermark = float("-inf")
         self._dirty = True
         self._ts: Optional[TimeSeriesGraph] = None
+        self._matches: Optional[List] = None
+        self._rebuild_count = 0
         # Per structural match (by vertex map): (last processed anchor,
         # last-edge frontier Λ of the previously processed window).
         self._progress: Dict[Tuple[Node, ...], Tuple[float, Optional[float]]] = {}
@@ -115,6 +120,15 @@ class StreamingDetector:
         """Total instances emitted so far."""
         return self._emitted
 
+    @property
+    def rebuild_count(self) -> int:
+        """How many times the time-series view was actually rebuilt.
+
+        Polls without intervening :meth:`add` calls reuse the cached view
+        and structural matches, leaving this counter unchanged.
+        """
+        return self._rebuild_count
+
     # ------------------------------------------------------------------
     # Emission
     # ------------------------------------------------------------------
@@ -125,8 +139,21 @@ class StreamingDetector:
                 EdgeSeries(src, dst, self._times[(src, dst)], self._flows[(src, dst)])
                 for (src, dst) in self._times
             )
+            self._matches = None  # match list follows the view's lifetime
+            self._rebuild_count += 1
             self._dirty = False
         return self._ts
+
+    def _structural_matches(self) -> List:
+        """Structural matches of the current view, cached between polls."""
+        graph = self._rebuild()
+        if self._matches is None:
+            self._matches = list(
+                iter_structural_matches(
+                    graph, self.motif, phi=self.phi, temporal_pruning=True
+                )
+            )
+        return self._matches
 
     def _closed_windows(
         self, first: EdgeSeries, last: EdgeSeries, horizon: float, key: Tuple
@@ -167,11 +194,8 @@ class StreamingDetector:
         return windows
 
     def _emit_for_horizon(self, horizon: float) -> List[MotifInstance]:
-        graph = self._rebuild()
         instances: List[MotifInstance] = []
-        for match in iter_structural_matches(
-            graph, self.motif, phi=self.phi, temporal_pruning=True
-        ):
+        for match in self._structural_matches():
             series_list = match.series
             if not match_is_feasible(series_list, self.phi):
                 continue

@@ -148,6 +148,7 @@ def top_k_instances(
     k: int,
     delta: Optional[float] = None,
     floor: float = 0.0,
+    anchor_range: Optional[Tuple[float, float]] = None,
 ) -> List[MotifInstance]:
     """The k maximal instances with the largest flow, best first.
 
@@ -161,6 +162,11 @@ def top_k_instances(
         Duration override; defaults to the motif's δ.
     floor:
         Static lower bound on acceptable flow (paper uses 0).
+    anchor_range:
+        Optional half-open ``[lo, hi)`` restriction on window anchors (the
+        :mod:`repro.parallel` shard-ownership contract): only owned windows
+        feed the collector, so halo-truncated windows can never displace a
+        genuine instance from the top-k heap.
     """
     collector = TopKCollector(k, floor=floor)
     for match in matches:
@@ -177,6 +183,11 @@ def top_k_instances(
         for window in iter_maximal_windows(
             series_list[0], series_list[-1], motif_delta
         ):
+            if anchor_range is not None:
+                if window.start >= anchor_range[1]:
+                    break
+                if window.start < anchor_range[0]:
+                    continue
             _search_window(series_list, window.start, window.end, match, collector)
     return collector.results()
 

@@ -7,12 +7,18 @@ target, timestamp and flow. We support three interchange formats:
   the delimiter is sniffed from the first line unless given.
 * **JSON Lines** — one ``{"src":…, "dst":…, "time":…, "flow":…}`` per line.
 
+Paths ending in ``.gz`` (``edges.csv.gz``, ``edges.jsonl.gz``) are
+compressed/decompressed transparently by every reader and writer — real
+interaction datasets ship gzipped, and the edge lists compress an order of
+magnitude.
+
 Malformed rows raise :class:`InteractionFormatError` carrying the line
 number, unless ``on_error="skip"`` is passed.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 from typing import Iterator, Optional, TextIO, Union
@@ -34,9 +40,15 @@ class InteractionFormatError(ValueError):
 
 
 def _open_maybe(path_or_file: PathOrFile, mode: str):
-    """Return (file, needs_close) for a path or an already-open file."""
+    """Return (file, needs_close) for a path or an already-open file.
+
+    Paths with a ``.gz`` suffix are opened through :mod:`gzip` in text
+    mode, so callers read/write plain lines either way.
+    """
     if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
         return path_or_file, False
+    if str(os.fspath(path_or_file)).endswith(".gz"):
+        return gzip.open(path_or_file, mode + "t", encoding="utf-8"), True
     return open(path_or_file, mode, encoding="utf-8"), True
 
 

@@ -1,0 +1,270 @@
+"""Multi-motif batch evaluation with cross-query phase-P1 sharing.
+
+Table 4 of the paper observes that phase P1 (structural matching) is
+independent of δ and φ; the Figure 9/10 sweeps therefore pay it once per
+motif *shape* and vary only phase P2. :class:`BatchRunner` lifts that
+saving to whole grids of ``(motif, δ, φ)`` configurations: configurations
+whose motifs share a spanning path form a *topology group* that computes
+structural matches exactly once — per shard when running sharded, once
+globally when running serially.
+
+>>> from repro import InteractionGraph, Motif
+>>> g = InteractionGraph.from_tuples([
+...     ("a", "b", 1.0, 5.0), ("b", "c", 2.0, 4.0), ("b", "c", 3.0, 2.0),
+... ])
+>>> runner = BatchRunner(g, jobs=1)
+>>> results = runner.run([
+...     MotifConfig(Motif.chain(3, delta=10, phi=0)),
+...     MotifConfig(Motif.chain(3, delta=10, phi=0), delta=0.5),
+...     MotifConfig(Motif.chain(3, delta=10, phi=0), phi=100.0),
+... ])
+>>> [r.count for r in results]
+[1, 0, 0]
+>>> runner.last_stats["num_topology_groups"]
+1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.engine import SearchResult
+from repro.core.motif import Motif
+from repro.graph.interaction import InteractionGraph
+from repro.graph.timeseries import TimeSeriesGraph
+from repro.parallel import merge as _merge
+from repro.parallel import worker as _worker
+from repro.parallel.engine import ParallelFlowMotifEngine
+from repro.utils.timing import Timer
+
+
+@dataclass(frozen=True)
+class MotifConfig:
+    """One cell of a batch grid: a motif with optional δ/φ overrides.
+
+    ``delta``/``phi`` default to the motif's own constraints, mirroring
+    the per-call overrides of the engines.
+    """
+
+    motif: Motif
+    delta: Optional[float] = None
+    phi: Optional[float] = None
+
+    @property
+    def effective_delta(self) -> float:
+        """The δ this configuration searches with."""
+        return self.motif.delta if self.delta is None else self.delta
+
+    @property
+    def effective_phi(self) -> float:
+        """The φ this configuration searches with."""
+        return self.motif.phi if self.phi is None else self.phi
+
+
+def _coerce_config(item: Union[MotifConfig, Motif, Tuple]) -> MotifConfig:
+    """Accept MotifConfig, bare Motif, or (motif, delta, phi) tuples."""
+    if isinstance(item, MotifConfig):
+        return item
+    if isinstance(item, Motif):
+        return MotifConfig(item)
+    if isinstance(item, tuple) and item and isinstance(item[0], Motif):
+        motif = item[0]
+        delta = item[1] if len(item) > 1 else None
+        phi = item[2] if len(item) > 2 else None
+        return MotifConfig(motif, delta, phi)
+    raise TypeError(
+        "batch configurations must be MotifConfig, Motif, or "
+        f"(motif, delta[, phi]) tuples, got {type(item).__name__}"
+    )
+
+
+class BatchRunner:
+    """Evaluate a grid of (motif, δ, φ) configurations over one graph.
+
+    Parameters
+    ----------
+    graph:
+        The interaction multigraph or its time-series view.
+    jobs:
+        Worker count. With one shard (the ``jobs=1`` default) the grid
+        runs serially with a single shared phase-P1 pass per topology
+        group; with several shards the timeline is partitioned once
+        (halo = the grid's maximum δ) and fanned out, each worker
+        sharing P1 across the whole grid for its shard. ``jobs=1`` with
+        an explicit ``shards`` runs the sharded path in-process
+        (determinism testing, as in the engine).
+    shards, backend:
+        As in :class:`~repro.parallel.engine.ParallelFlowMotifEngine`.
+
+    Attributes
+    ----------
+    last_stats:
+        Dict describing the previous :meth:`run`: configuration count,
+        topology-group count, total P1/P2 seconds and wall time.
+    """
+
+    def __init__(
+        self,
+        graph: Union[InteractionGraph, TimeSeriesGraph],
+        jobs: int = 1,
+        shards: Optional[int] = None,
+        backend: str = "process",
+        partition_strategy: str = "events",
+    ) -> None:
+        # Compose the parallel engine: one source of truth for graph
+        # coercion, backend validation, dispatch, and partition caching.
+        self._engine = ParallelFlowMotifEngine(
+            graph,
+            jobs=jobs,
+            shards=shards,
+            backend=backend,
+            partition_strategy=partition_strategy,
+        )
+        self._ts = self._engine.time_series_graph
+        self.last_stats: Dict[str, float] = {}
+
+    @property
+    def jobs(self) -> int:
+        """Worker count (delegated to the underlying parallel engine)."""
+        return self._engine.jobs
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count (delegated to the underlying parallel engine)."""
+        return self._engine.num_shards
+
+    @property
+    def backend(self) -> str:
+        """Execution backend (delegated to the underlying parallel engine)."""
+        return self._engine.backend
+
+    def run(
+        self,
+        configs: Sequence[Union[MotifConfig, Motif, Tuple]],
+        collect: bool = True,
+    ) -> List[SearchResult]:
+        """Search every configuration; results align with ``configs``.
+
+        With ``collect=False`` instances are counted but not materialized
+        (the counts remain exact), which keeps huge grids memory-bound
+        only by their result counts.
+        """
+        resolved = [_coerce_config(c) for c in configs]
+        if not resolved:
+            self.last_stats = {
+                "num_configs": 0,
+                "num_topology_groups": 0,
+                "p1_seconds": 0.0,
+                "p2_seconds": 0.0,
+                "wall_seconds": 0.0,
+            }
+            return []
+        with Timer() as wall:
+            if self.num_shards == 1:
+                results = self._run_serial(resolved, collect)
+            else:
+                results = self._run_sharded(resolved, collect)
+        groups = {c.motif.spanning_path for c in resolved}
+        self.last_stats = {
+            "num_configs": len(resolved),
+            "num_topology_groups": len(groups),
+            "p1_seconds": sum(r.p1_seconds for r in results),
+            "p2_seconds": sum(r.p2_seconds for r in results),
+            "wall_seconds": wall.elapsed,
+        }
+        return results
+
+    # ------------------------------------------------------------------
+    # Serial path: one shared P1 pass per topology group
+    # ------------------------------------------------------------------
+
+    def _run_serial(
+        self, configs: Sequence[MotifConfig], collect: bool
+    ) -> List[SearchResult]:
+        from repro.core import enumeration as _enumeration
+        from repro.core.instance import MotifInstance
+        from repro.core.matching import find_structural_matches
+
+        matches_by_path: dict = {}
+        p1_charged: set = set()
+        p1_by_path: Dict[Tuple, float] = {}
+        results: List[SearchResult] = []
+        for config in configs:
+            motif = config.motif
+            key = motif.spanning_path
+            if key not in matches_by_path:
+                with Timer() as t1:
+                    matches_by_path[key] = find_structural_matches(self._ts, motif)
+                p1_by_path[key] = t1.elapsed
+            matches = matches_by_path[key]
+            result = SearchResult(motif=motif, num_matches=len(matches))
+            if key not in p1_charged:
+                # P1 is δ/φ-independent (Table 4): charged to the group's
+                # first configuration, shared by the rest.
+                result.p1_seconds = p1_by_path[key]
+                p1_charged.add(key)
+            counter = [0]
+            # Shared matches carry the group-first motif; instances must
+            # report *this* config's motif (matching the sharded path).
+            rebind = matches and matches[0].motif is not motif
+            if collect:
+                def sink(instance, _result=result, _counter=counter, _rebind=rebind, _motif=motif):
+                    _counter[0] += 1
+                    if _rebind:
+                        instance = MotifInstance(
+                            _motif, instance.vertex_map, instance.runs
+                        )
+                    _result.instances.append(instance)
+            else:
+                def sink(instance, _result=result, _counter=counter):
+                    _counter[0] += 1
+            with Timer() as t2:
+                _enumeration.find_instances(
+                    matches,
+                    delta=config.effective_delta,
+                    phi=config.effective_phi,
+                    on_instance=sink,
+                )
+            result.p2_seconds = t2.elapsed
+            result.count = counter[0]
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Sharded path: one partition, whole grid per shard
+    # ------------------------------------------------------------------
+
+    def _run_sharded(
+        self, configs: Sequence[MotifConfig], collect: bool
+    ) -> List[SearchResult]:
+        with Timer() as wall:
+            halo = max(c.effective_delta for c in configs)
+            shards = self._engine.partition(halo)
+            specs = [
+                (i, c.motif, c.effective_delta, c.effective_phi)
+                for i, c in enumerate(configs)
+            ]
+            tasks = [("batch", shard, specs, collect) for shard in shards]
+            grouped = self._engine._dispatch(tasks)
+            # grouped[s] is the list of per-config outputs from shard s.
+            per_config: List[List[_worker.ShardSearchOutput]] = [
+                [] for _ in configs
+            ]
+            for shard_outputs in grouped:
+                for output in shard_outputs:
+                    per_config[output.config_index].append(output)
+            results: List[SearchResult] = []
+            for config, outputs in zip(configs, per_config):
+                results.append(
+                    _merge.merge_search_results(
+                        config.motif, shards, outputs, self._ts
+                    )
+                )
+        # The fan-out/merge wall time is shared by the whole grid; record
+        # it on every config's report so efficiency charts have a
+        # non-zero denominator.
+        for result in results:
+            if result.shard_timings is not None:
+                result.shard_timings.wall_seconds = wall.elapsed
+        return results

@@ -1,0 +1,160 @@
+"""Merging shard outputs back into engine-level results.
+
+The merger performs three jobs:
+
+1. **Rebinding** — shard workers return instances as shard-local
+   ``(vertex_map, (lo, hi) per edge)`` records; rebinding maps the index
+   ranges onto the parent graph's own :class:`EdgeSeries` via the slice
+   offsets recorded at partition time, so merged instances are
+   indistinguishable from serially-found ones (``is_valid_instance`` and
+   ``is_maximal`` hold against the parent graph).
+2. **Deduplication** — the anchored-ownership rule makes every instance
+   owned by exactly one shard, so duplicates cannot arise from a correct
+   partition; the merger still drops canonical-key duplicates as a safety
+   net against overlapping custom partitions.
+3. **Aggregation** — per-shard match counts and P1/P2 timings are summed
+   into the merged :class:`~repro.core.engine.SearchResult` and kept
+   individually in its :class:`~repro.utils.timing.ShardTimingReport`.
+
+Merged instance order is deterministic (sorted by start time, end time,
+then vertex map) regardless of shard scheduling, so parallel runs are
+reproducible across backends and job counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.engine import SearchResult
+from repro.core.instance import MotifInstance, Run
+from repro.core.motif import Motif
+from repro.graph.timeseries import TimeSeriesGraph
+from repro.parallel.partition import TimeShard
+from repro.parallel.worker import InstanceRecord, ShardSearchOutput
+from repro.utils.timing import ShardTiming, ShardTimingReport
+
+
+def rebind_record(
+    record: InstanceRecord,
+    motif: Motif,
+    shard: TimeShard,
+    parent: TimeSeriesGraph,
+) -> MotifInstance:
+    """Rebind one shard-local record onto the parent graph's series."""
+    vertex_map, ranges = record
+    runs: List[Run] = []
+    for edge_index, (lo, hi) in enumerate(ranges):
+        m_src, m_dst = motif.edge(edge_index)
+        pair = (vertex_map[m_src], vertex_map[m_dst])
+        series = parent.series(*pair)
+        if series is None:
+            raise ValueError(
+                f"shard {shard.index} produced an instance on pair {pair} "
+                "absent from the parent graph"
+            )
+        offset = shard.offsets[pair]
+        runs.append(Run(series, lo + offset, hi + offset))
+    return MotifInstance(motif, vertex_map, runs)
+
+
+def _instance_sort_key(instance: MotifInstance) -> Tuple:
+    """Deterministic, shard-scheduling-independent ordering key."""
+    return (
+        instance.start_time,
+        instance.end_time,
+        tuple(repr(v) for v in instance.vertex_map),
+        tuple((run.lo, run.hi) for run in instance.runs),
+    )
+
+
+def merge_search_results(
+    motif: Motif,
+    shards: Sequence[TimeShard],
+    outputs: Sequence[ShardSearchOutput],
+    parent: TimeSeriesGraph,
+    wall_seconds: float = 0.0,
+) -> SearchResult:
+    """Combine per-shard outputs into one :class:`SearchResult`.
+
+    Parameters
+    ----------
+    motif:
+        The searched motif (becomes the merged result's motif).
+    shards:
+        The partition the outputs were produced from (indexable by
+        ``output.shard_index``).
+    outputs:
+        One :class:`ShardSearchOutput` per shard, any order.
+    parent:
+        The unsharded time-series graph instances are rebound onto.
+    wall_seconds:
+        Elapsed fan-out/merge time measured by the caller, recorded on the
+        timing report.
+    """
+    by_index: Dict[int, TimeShard] = {s.index: s for s in shards}
+    result = SearchResult(motif=motif)
+    timings: List[ShardTiming] = []
+    instances: List[MotifInstance] = []
+    seen: set = set()
+    duplicates = 0
+    for output in sorted(outputs, key=lambda o: o.shard_index):
+        shard = by_index[output.shard_index]
+        for record in output.records:
+            instance = rebind_record(record, motif, shard, parent)
+            key = instance.canonical_key()
+            if key in seen:
+                duplicates += 1
+                continue
+            seen.add(key)
+            instances.append(instance)
+        result.num_matches += output.num_matches
+        result.p1_seconds += output.p1_seconds
+        result.p2_seconds += output.p2_seconds
+        timings.append(
+            ShardTiming(
+                shard_index=output.shard_index,
+                p1_seconds=output.p1_seconds,
+                p2_seconds=output.p2_seconds,
+                num_matches=output.num_matches,
+                num_instances=output.count,
+            )
+        )
+    instances.sort(key=_instance_sort_key)
+    result.instances = instances
+    result.count = sum(o.count for o in outputs) - duplicates
+    result.shard_timings = ShardTimingReport(
+        shards=timings, wall_seconds=wall_seconds
+    )
+    return result
+
+
+def merge_top_k(
+    motif: Motif,
+    shards: Sequence[TimeShard],
+    outputs: Sequence[ShardSearchOutput],
+    parent: TimeSeriesGraph,
+    k: int,
+) -> List[MotifInstance]:
+    """Re-rank per-shard top-k candidate lists into the global top-k.
+
+    Correctness: each globally top-k instance is owned by exactly one
+    shard and therefore appears in that shard's local top-k candidates,
+    so the union of candidates contains the global answer. Ties on flow
+    are broken by the deterministic merge order (start time, end time,
+    vertex map), which may differ from the serial engine's insertion-order
+    tie-break — the returned *flows* always agree.
+    """
+    by_index: Dict[int, TimeShard] = {s.index: s for s in shards}
+    candidates: List[MotifInstance] = []
+    seen: set = set()
+    for output in sorted(outputs, key=lambda o: o.shard_index):
+        shard = by_index[output.shard_index]
+        for record in output.records:
+            instance = rebind_record(record, motif, shard, parent)
+            key = instance.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            candidates.append(instance)
+    candidates.sort(key=lambda inst: (-inst.flow,) + _instance_sort_key(inst))
+    return candidates[:k]

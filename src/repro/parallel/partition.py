@@ -1,0 +1,216 @@
+"""δ-overlap time-range partitioning of a time-series graph.
+
+The timeline is cut into ``k`` consecutive *core* ranges
+``(-inf, b_1), [b_1, b_2), ..., [b_{k-1}, +inf)``; shard ``i`` receives
+every event with timestamp in ``[b_i - halo, b_{i+1} + halo]`` — its core
+plus a halo of width ``halo >= δ`` on both sides.
+
+**Anchored-ownership rule.** Algorithm 1 anchors every emitted instance at
+a window start equal to the instance's first (earliest) interaction, and
+the whole instance fits in ``[a, a + δ]``. Shard ``i`` *owns* exactly the
+instances whose anchor lies in its core range; the search restricts
+enumeration to owned windows via the ``anchor_range`` parameter of
+:func:`repro.core.enumeration.find_instances`.
+
+Why a δ-halo on **both** sides makes sharded output exact:
+
+* *content* — an owned window ``[a, a + δ]`` with ``a < b_{i+1}`` only
+  touches events ``<= b_{i+1} + halo``: all present (right halo);
+* *maximality / skip rule* — an owned instance anchored at ``a`` is
+  non-maximal globally iff a first-series element exists in
+  ``[Λ - δ, a)`` (it could join the first edge-set), where ``Λ <= a + δ``
+  is the instance's last event. All such elements are ``>= a - δ >= b_i -
+  halo``: present (left halo). The window iterator's skip rule compares
+  the last-edge frontier ``Λ`` of a window against the maximum frontier of
+  previously *considered* windows; frontiers of windows anchored before
+  ``b_i - halo`` are ``< b_i <= Λ`` and can never flip a skip decision for
+  an owned window, so iterating the left-halo windows (without enumerating
+  them) reproduces the exact global skip state.
+
+Shard series are contiguous index slices of the parent series, and
+:class:`EdgeSeries` sorts stably, so a shard-local run ``[lo, hi]`` maps
+back to the parent series as ``[lo + offset, hi + offset]`` — the merger
+uses the recorded per-pair offsets to rebind instances onto the parent
+graph (:mod:`repro.parallel.merge`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.graph.events import Node
+from repro.graph.interaction import InteractionGraph
+from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+
+#: Pair key of one edge series: the (src, dst) vertex pair.
+Pair = Tuple[Node, Node]
+
+
+@dataclass
+class TimeShard:
+    """One shard of a δ-overlap time partition.
+
+    Attributes
+    ----------
+    index, num_shards:
+        Position of the shard and total shard count of its partition.
+    core_start, core_end:
+        The owned half-open anchor range ``[core_start, core_end)``;
+        ``-inf`` / ``+inf`` on the outer shards, so ownership covers the
+        whole timeline.
+    halo:
+        Overlap width (>= the search δ) applied on both sides of the core.
+    graph:
+        The sliced :class:`TimeSeriesGraph` holding every event in
+        ``[core_start - halo, core_end + halo]``.
+    offsets:
+        Per (src, dst) pair, the parent-series index of the slice's first
+        element — the rebinding map used by the merger.
+    """
+
+    index: int
+    num_shards: int
+    core_start: float
+    core_end: float
+    halo: float
+    graph: TimeSeriesGraph
+    offsets: Dict[Pair, int] = field(default_factory=dict)
+
+    @property
+    def anchor_range(self) -> Tuple[float, float]:
+        """The half-open ``[core_start, core_end)`` ownership interval."""
+        return (self.core_start, self.core_end)
+
+    @property
+    def num_events(self) -> int:
+        """Events in the shard (core plus halo) — the load-balance metric."""
+        return self.graph.num_events
+
+    def owns_anchor(self, t: float) -> bool:
+        """Whether an instance anchored at ``t`` belongs to this shard."""
+        return self.core_start <= t < self.core_end
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeShard({self.index}/{self.num_shards}, "
+            f"core=[{self.core_start:g}, {self.core_end:g}), "
+            f"{self.num_events} events)"
+        )
+
+
+def _cut_points(
+    times: List[float], num_shards: int, strategy: str
+) -> List[float]:
+    """The strictly increasing interior boundaries ``b_1 < ... < b_{k-1}``."""
+    if strategy == "width":
+        t_min, t_max = times[0], times[-1]
+        span = t_max - t_min
+        raw = [t_min + span * i / num_shards for i in range(1, num_shards)]
+    elif strategy == "events":
+        n = len(times)
+        raw = [times[min(n - 1, (n * i) // num_shards)] for i in range(1, num_shards)]
+    else:
+        raise ValueError(
+            f"partition strategy must be 'events' or 'width', got {strategy!r}"
+        )
+    cuts: List[float] = []
+    for b in raw:
+        if not cuts or b > cuts[-1]:
+            cuts.append(b)
+    return cuts
+
+
+def partition_time_range(
+    graph: Union[InteractionGraph, TimeSeriesGraph],
+    num_shards: int,
+    halo: float,
+    strategy: str = "events",
+    sorted_times: Optional[List[float]] = None,
+) -> List[TimeShard]:
+    """Split a graph into time shards with a ``halo``-sized overlap.
+
+    Parameters
+    ----------
+    graph:
+        The interaction multigraph or its merged time-series view.
+    num_shards:
+        Requested shard count; fewer are returned when the graph has too
+        few distinct timestamps to support that many non-empty cores.
+    halo:
+        Overlap width on both sides of each core; must be at least the δ
+        of every search run against the partition (pass δ, or the maximum
+        δ of a batch grid).
+    strategy:
+        ``"events"`` (default) cuts at event-count quantiles so shards
+        carry similar load; ``"width"`` cuts the covered period into
+        equal-length intervals (the Figure 13 prefix-sample geometry).
+    sorted_times:
+        Optional pre-sorted list of every event timestamp in ``graph``.
+        The flattened sort is O(|E| log |E|) and independent of the halo,
+        so callers partitioning the same graph repeatedly (δ-sweeps)
+        should compute it once and pass it in.
+
+    Returns
+    -------
+    list of :class:`TimeShard`
+        Cores are pairwise disjoint and jointly cover ``(-inf, +inf)``;
+        every event timestamp falls in exactly one core.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if halo < 0:
+        raise ValueError(f"halo must be non-negative, got {halo!r}")
+    ts = graph.to_time_series() if isinstance(graph, InteractionGraph) else graph
+    if not isinstance(ts, TimeSeriesGraph):
+        raise TypeError(
+            "graph must be an InteractionGraph or TimeSeriesGraph, "
+            f"got {type(graph).__name__}"
+        )
+
+    all_series = ts.all_series()
+    times: List[float] = (
+        sorted(t for series in all_series for t in series.times)
+        if sorted_times is None
+        else sorted_times
+    )
+    if num_shards == 1 or len(times) == 0:
+        cuts: List[float] = []
+    else:
+        cuts = _cut_points(times, num_shards, strategy)
+
+    bounds = [-math.inf] + cuts + [math.inf]
+    shards: List[TimeShard] = []
+    total = len(bounds) - 1
+    for i in range(total):
+        core_start, core_end = bounds[i], bounds[i + 1]
+        data_start = core_start - halo
+        data_end = core_end + halo
+        sliced: List[EdgeSeries] = []
+        offsets: Dict[Pair, int] = {}
+        for series in all_series:
+            lo, hi = series.indices_in_interval(data_start, data_end)
+            if hi < lo:
+                continue
+            sliced.append(
+                EdgeSeries(
+                    series.src,
+                    series.dst,
+                    series.times[lo : hi + 1],
+                    series.flows[lo : hi + 1],
+                )
+            )
+            offsets[(series.src, series.dst)] = lo
+        shards.append(
+            TimeShard(
+                index=i,
+                num_shards=total,
+                core_start=core_start,
+                core_end=core_end,
+                halo=halo,
+                graph=TimeSeriesGraph(sliced),
+                offsets=offsets,
+            )
+        )
+    return shards

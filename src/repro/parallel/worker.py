@@ -1,0 +1,249 @@
+"""Shard worker functions — the code that runs inside pool workers.
+
+Everything here is module-level and operates on picklable payloads
+(:class:`~repro.parallel.partition.TimeShard`, :class:`~repro.core.motif.
+Motif`, plain floats), so the functions can be dispatched over a
+:class:`concurrent.futures.ProcessPoolExecutor` as well as called inline
+for the thread/serial backends.
+
+Workers do **not** ship :class:`~repro.core.instance.MotifInstance`
+objects back to the parent: an instance found in a shard is reduced to a
+compact :class:`InstanceRecord` — the vertex map plus one shard-local
+``(lo, hi)`` index range per motif edge. The merger rebinds records onto
+the parent graph's series using the shard's slice offsets, so merged
+instances are bit-identical to what a serial search would have produced
+(including being backed by the parent's own :class:`EdgeSeries` objects).
+
+Phase P1 runs per shard with the output-preserving fused pruning of
+:func:`repro.core.matching.iter_structural_matches` (``temporal_pruning=
+True``): a shard only materializes matches that can host an instance
+*somewhere in the shard*, which is a superset of what its owned windows
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import counting as _counting
+from repro.core import enumeration as _enumeration
+from repro.core import topk as _topk
+from repro.core.instance import MotifInstance
+from repro.core.matching import iter_structural_matches
+from repro.core.motif import Motif
+from repro.graph.events import Node
+from repro.parallel.partition import TimeShard
+from repro.utils.timing import Timer
+
+#: Compact shard-local form of one instance: the vertex map plus one
+#: inclusive (lo, hi) index range per motif edge, indices into the
+#: *shard's* sliced series.
+InstanceRecord = Tuple[Tuple[Node, ...], Tuple[Tuple[int, int], ...]]
+
+
+@dataclass
+class ShardSearchOutput:
+    """What one shard worker sends back to the merger."""
+
+    shard_index: int
+    records: List[InstanceRecord] = field(default_factory=list)
+    count: int = 0
+    num_matches: int = 0
+    p1_seconds: float = 0.0
+    p2_seconds: float = 0.0
+    #: Index of the grid configuration this output answers (batch runs).
+    config_index: int = 0
+
+
+def _record(instance: MotifInstance) -> InstanceRecord:
+    """Reduce an instance to its shard-local record form."""
+    return (
+        instance.vertex_map,
+        tuple((run.lo, run.hi) for run in instance.runs),
+    )
+
+
+def _shard_matches(shard: TimeShard, motif: Motif, phi: float):
+    """Phase P1 on the shard slice, with output-preserving fused pruning."""
+    return list(
+        iter_structural_matches(
+            shard.graph, motif, phi=phi, temporal_pruning=True
+        )
+    )
+
+
+def search_shard(
+    shard: TimeShard,
+    motif: Motif,
+    delta: float,
+    phi: float,
+    collect: bool = True,
+    skip_rule: bool = True,
+    prefix_pruning: bool = True,
+) -> ShardSearchOutput:
+    """Find the shard's owned maximal instances (its slice of Algorithm 1).
+
+    ``delta`` and ``phi`` must be the resolved effective constraints (the
+    engine applies motif defaults before dispatch), and ``delta`` must not
+    exceed the shard's halo width.
+    """
+    out = ShardSearchOutput(shard_index=shard.index)
+    if shard.graph.num_series == 0:
+        return out
+    with Timer() as t1:
+        matches = _shard_matches(shard, motif, phi)
+    out.num_matches = len(matches)
+    out.p1_seconds = t1.elapsed
+
+    counter = [0]
+    if collect:
+        def sink(instance: MotifInstance) -> None:
+            counter[0] += 1
+            out.records.append(_record(instance))
+    else:
+        def sink(instance: MotifInstance) -> None:
+            counter[0] += 1
+
+    with Timer() as t2:
+        _enumeration.find_instances(
+            matches,
+            delta=delta,
+            phi=phi,
+            on_instance=sink,
+            skip_rule=skip_rule,
+            prefix_pruning=prefix_pruning,
+            anchor_range=shard.anchor_range,
+        )
+    out.p2_seconds = t2.elapsed
+    out.count = counter[0]
+    return out
+
+
+def count_shard(
+    shard: TimeShard,
+    motif: Motif,
+    delta: float,
+    phi: float,
+) -> ShardSearchOutput:
+    """Count the shard's owned maximal instances without constructing them
+    (the memoized :mod:`repro.core.counting` recursion, anchor-filtered)."""
+    out = ShardSearchOutput(shard_index=shard.index)
+    if shard.graph.num_series == 0:
+        return out
+    with Timer() as t1:
+        matches = _shard_matches(shard, motif, phi)
+    out.num_matches = len(matches)
+    out.p1_seconds = t1.elapsed
+    with Timer() as t2:
+        out.count = _counting.count_instances(
+            matches, delta=delta, phi=phi, anchor_range=shard.anchor_range
+        )
+    out.p2_seconds = t2.elapsed
+    return out
+
+
+def top_k_shard(
+    shard: TimeShard,
+    motif: Motif,
+    k: int,
+    delta: float,
+) -> ShardSearchOutput:
+    """The shard's k best owned instances by flow.
+
+    Every globally top-k instance is owned by some shard and is therefore
+    among that shard's local top-k, so merging the per-shard candidate
+    lists and re-ranking yields the exact global answer. The
+    ``anchor_range`` restriction is essential here: windows anchored in
+    the halo can be truncated by the shard's data boundary, and allowing
+    their (spurious) high-flow instances into the heap could displace
+    genuine owned candidates.
+    """
+    out = ShardSearchOutput(shard_index=shard.index)
+    if shard.graph.num_series == 0:
+        return out
+    with Timer() as t1:
+        matches = _shard_matches(shard, motif, 0.0)
+    out.num_matches = len(matches)
+    out.p1_seconds = t1.elapsed
+    with Timer() as t2:
+        instances = _topk.top_k_instances(
+            matches, k, delta=delta, anchor_range=shard.anchor_range
+        )
+    out.p2_seconds = t2.elapsed
+    out.records = [_record(inst) for inst in instances]
+    out.count = len(instances)
+    return out
+
+
+def batch_search_shard(
+    shard: TimeShard,
+    specs: Sequence[Tuple[int, Motif, float, float]],
+    collect: bool = True,
+) -> List[ShardSearchOutput]:
+    """Run several (motif, δ, φ) configurations over one shard, sharing P1.
+
+    ``specs`` is a list of ``(config_index, motif, delta, phi)`` with
+    resolved constraints; configurations whose motifs share a spanning
+    path reuse one phase-P1 match list (computed with φ = 0 so it serves
+    every φ in the group). The shared P1 time is attributed to the first
+    configuration of each topology group; the others report ``p1_seconds
+    == 0.0`` — summing per-config timings therefore reflects the real
+    total work, exactly the saving the runner exists to exploit.
+    """
+    outputs: List[ShardSearchOutput] = []
+    empty = shard.graph.num_series == 0
+    matches_by_path: dict = {}
+    for config_index, motif, delta, phi in specs:
+        out = ShardSearchOutput(shard_index=shard.index, config_index=config_index)
+        if empty:
+            outputs.append(out)
+            continue
+        key = motif.spanning_path
+        if key not in matches_by_path:
+            with Timer() as t1:
+                # φ = 0: the unpruned match set serves every φ in the group.
+                matches_by_path[key] = _shard_matches(shard, motif, 0.0)
+            out.p1_seconds = t1.elapsed
+        matches = matches_by_path[key]
+        out.num_matches = len(matches)
+
+        counter = [0]
+        if collect:
+            def sink(instance: MotifInstance, _out=out, _counter=counter) -> None:
+                _counter[0] += 1
+                _out.records.append(_record(instance))
+        else:
+            def sink(instance: MotifInstance, _out=out, _counter=counter) -> None:
+                _counter[0] += 1
+
+        with Timer() as t2:
+            _enumeration.find_instances(
+                matches,
+                delta=delta,
+                phi=phi,
+                on_instance=sink,
+                anchor_range=shard.anchor_range,
+            )
+        out.p2_seconds = t2.elapsed
+        out.count = counter[0]
+        outputs.append(out)
+    return outputs
+
+
+def run_shard_task(task: Tuple) -> object:
+    """Trampoline for executor dispatch: ``(kind, args...) -> output``.
+
+    A single top-level entry point keeps pool submission uniform across
+    the search/count/top-k/batch worker kinds.
+    """
+    kind, args = task[0], task[1:]
+    if kind == "search":
+        return search_shard(*args)
+    if kind == "count":
+        return count_shard(*args)
+    if kind == "top_k":
+        return top_k_shard(*args)
+    if kind == "batch":
+        return batch_search_shard(*args)
+    raise ValueError(f"unknown shard task kind {kind!r}")

@@ -132,3 +132,59 @@ class TestStreamingBehaviour:
         detector = StreamingDetector(Motif.chain(2, delta=10))
         with pytest.raises(ValueError, match="positive"):
             detector.add("a", "b", 1, 0)
+
+
+class TestViewCaching:
+    """Poll-without-add must not rebuild the time-series view (regression
+    for the O(|E| + matches)-per-poll behaviour the docstring used to
+    admit)."""
+
+    def _fed_detector(self):
+        detector = StreamingDetector(Motif.chain(3, delta=5, phi=0))
+        detector.add("a", "b", 1, 2)
+        detector.add("b", "c", 3, 4)
+        detector.add("x", "y", 50, 1)
+        return detector
+
+    def test_poll_without_add_does_no_rebuild(self):
+        detector = self._fed_detector()
+        first = detector.poll()
+        assert len(first) == 1
+        rebuilds = detector.rebuild_count
+        assert rebuilds >= 1
+        for _ in range(3):
+            assert detector.poll() == []  # nothing new: exactly-once holds
+        assert detector.rebuild_count == rebuilds
+
+    def test_flush_after_poll_reuses_view(self):
+        detector = self._fed_detector()
+        detector.poll()
+        rebuilds = detector.rebuild_count
+        detector.flush()
+        assert detector.rebuild_count == rebuilds
+
+    def test_add_invalidates_cache(self):
+        detector = self._fed_detector()
+        detector.poll()
+        rebuilds = detector.rebuild_count
+        detector.add("a", "b", 60, 2)
+        detector.add("b", "c", 62, 3)
+        detector.add("z", "w", 99, 1)
+        emitted = detector.poll()
+        assert detector.rebuild_count == rebuilds + 1
+        assert any(i.vertex_map == ("a", "b", "c") for i in emitted)
+
+    def test_emissions_identical_with_redundant_polls(self):
+        """Interleaving no-op polls must not change the emitted set."""
+        stream = random_stream(seed=11)
+        motif = Motif.chain(3, delta=8, phi=0)
+        baseline = streamed_keys(stream, motif, poll_every=7)
+        detector = StreamingDetector(motif)
+        chatty = set()
+        for i, (src, dst, t, flow) in enumerate(stream):
+            detector.add(src, dst, t, flow)
+            if i % 7 == 0:
+                for _ in range(3):  # redundant polls between adds
+                    chatty.update(i.canonical_key() for i in detector.poll())
+        chatty.update(i.canonical_key() for i in detector.flush())
+        assert chatty == baseline

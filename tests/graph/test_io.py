@@ -106,3 +106,49 @@ class TestJsonl:
     def test_skip_mode(self):
         content = '{"src":"a","dst":"b","time":1,"flow":2}\n{bad}\n'
         assert read_jsonl(io.StringIO(content), on_error="skip").num_edges == 1
+
+
+class TestGzipTransparency:
+    """``.gz`` suffix detection: compressed edge lists round-trip."""
+
+    def test_csv_gz_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "edges.csv.gz"
+        write_csv(sample_graph, str(path))
+        loaded = read_csv(str(path))
+        assert sorted(loaded.interactions_sorted(), key=repr) == sorted(
+            sample_graph.interactions_sorted(), key=repr
+        )
+
+    def test_jsonl_gz_round_trip(self, sample_graph, tmp_path):
+        path = tmp_path / "edges.jsonl.gz"
+        write_jsonl(sample_graph, str(path))
+        loaded = read_jsonl(str(path))
+        assert sorted(loaded.interactions_sorted(), key=repr) == sorted(
+            sample_graph.interactions_sorted(), key=repr
+        )
+
+    def test_written_file_is_actually_gzipped(self, sample_graph, tmp_path):
+        import gzip
+
+        path = tmp_path / "edges.csv.gz"
+        write_csv(sample_graph, str(path))
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"  # gzip magic
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert handle.readline().strip() == "src,dst,time,flow"
+
+    def test_gz_accepts_pathlike(self, sample_graph, tmp_path):
+        path = tmp_path / "edges.csv.gz"
+        write_csv(sample_graph, path)  # pathlib.Path, not str
+        assert read_csv(path).num_edges == sample_graph.num_edges
+
+    def test_gz_errors_carry_line_numbers(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "bad.csv.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write("a,b,1,2\na,b,not_a_time,2\n")
+        with pytest.raises(InteractionFormatError) as excinfo:
+            read_csv(str(path))
+        assert excinfo.value.line_number == 2
+        assert read_csv(str(path), on_error="skip").num_edges == 1

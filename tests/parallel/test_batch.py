@@ -1,0 +1,146 @@
+"""BatchRunner — grid evaluation with shared phase P1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import FlowMotifEngine
+from repro.core.motif import Motif
+from repro.parallel import BatchRunner, MotifConfig
+
+
+def _keys(instances):
+    return sorted(i.canonical_key() for i in instances)
+
+
+def _grid(delta=10, phi=7):
+    triangle = Motif.cycle(3, delta=delta, phi=phi)
+    chain = Motif.chain(3, delta=delta, phi=phi)
+    return [
+        MotifConfig(triangle),
+        MotifConfig(triangle, phi=0),
+        MotifConfig(triangle, delta=5),
+        MotifConfig(chain),
+        MotifConfig(chain, phi=0),
+    ]
+
+
+class TestSerialBatch:
+    def test_results_align_with_serial_engine(self, fig2_graph):
+        runner = BatchRunner(fig2_graph, jobs=1)
+        configs = _grid()
+        results = runner.run(configs)
+        assert len(results) == len(configs)
+        engine = FlowMotifEngine(fig2_graph)
+        for config, result in zip(configs, results):
+            reference = engine.find_instances(
+                config.motif, delta=config.delta, phi=config.phi
+            )
+            assert result.count == reference.count
+            assert _keys(result.instances) == _keys(reference.instances)
+
+    def test_p1_shared_per_topology_group(self, fig2_graph):
+        runner = BatchRunner(fig2_graph, jobs=1)
+        results = runner.run(_grid())
+        assert runner.last_stats["num_configs"] == 5
+        assert runner.last_stats["num_topology_groups"] == 2
+        # P1 is charged once per group: exactly two results carry P1 time.
+        charged = [r for r in results if r.p1_seconds > 0.0]
+        assert len(charged) == 2
+
+    def test_collect_false_keeps_counts(self, fig2_graph):
+        runner = BatchRunner(fig2_graph, jobs=1)
+        configs = _grid()
+        lean = runner.run(configs, collect=False)
+        full = runner.run(configs, collect=True)
+        assert [r.count for r in lean] == [r.count for r in full]
+        assert all(r.instances == [] for r in lean)
+
+    def test_empty_grid(self, fig2_graph):
+        runner = BatchRunner(fig2_graph, jobs=1)
+        assert runner.run([]) == []
+        assert runner.last_stats["num_configs"] == 0
+
+
+class TestShardedBatch:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_matches_serial_batch(self, fig2_graph, backend):
+        configs = _grid()
+        serial = BatchRunner(fig2_graph, jobs=1).run(configs)
+        sharded = BatchRunner(
+            fig2_graph, jobs=2, shards=3, backend=backend
+        ).run(configs)
+        for a, b in zip(serial, sharded):
+            assert a.count == b.count
+            assert _keys(a.instances) == _keys(b.instances)
+
+    def test_halo_covers_grid_maximum_delta(self, fig2_graph):
+        # Mixed δ grid: the partition must use the largest δ as halo so
+        # the wide-δ config stays exact.
+        triangle = Motif.cycle(3, delta=10, phi=0)
+        configs = [MotifConfig(triangle, delta=2), MotifConfig(triangle, delta=10)]
+        serial = BatchRunner(fig2_graph, jobs=1).run(configs)
+        sharded = BatchRunner(fig2_graph, jobs=1, shards=4, backend="serial").run(
+            configs
+        )
+        for a, b in zip(serial, sharded):
+            assert _keys(a.instances) == _keys(b.instances)
+
+
+class TestConfigCoercion:
+    def test_accepts_bare_motifs_and_tuples(self, fig2_graph):
+        triangle = Motif.cycle(3, delta=10, phi=7)
+        runner = BatchRunner(fig2_graph, jobs=1)
+        results = runner.run([triangle, (triangle, 5), (triangle, 10, 0)])
+        engine = FlowMotifEngine(fig2_graph)
+        assert results[0].count == engine.find_instances(triangle).count
+        assert results[1].count == engine.find_instances(triangle, delta=5).count
+        assert results[2].count == engine.find_instances(triangle, phi=0).count
+
+    def test_effective_constraints(self):
+        motif = Motif.chain(3, delta=7, phi=3)
+        assert MotifConfig(motif).effective_delta == 7
+        assert MotifConfig(motif).effective_phi == 3
+        assert MotifConfig(motif, delta=1, phi=0).effective_delta == 1
+        assert MotifConfig(motif, delta=1, phi=0).effective_phi == 0
+
+    def test_rejects_unknown_items(self, fig2_graph):
+        with pytest.raises(TypeError):
+            BatchRunner(fig2_graph).run(["M(3,3)"])
+
+    def test_rejects_non_graph(self):
+        with pytest.raises(TypeError):
+            BatchRunner(42)
+
+
+class TestRunnerConfigValidation:
+    def test_invalid_backend_rejected(self, fig2_graph):
+        with pytest.raises(ValueError, match="backend"):
+            BatchRunner(fig2_graph, jobs=2, backend="proces")
+
+    def test_sharded_reports_wall_time(self, fig2_graph):
+        runner = BatchRunner(fig2_graph, jobs=2, shards=3, backend="thread")
+        results = runner.run(_grid())
+        for result in results:
+            assert result.shard_timings is not None
+            assert result.shard_timings.wall_seconds > 0.0
+
+    def test_serial_path_has_no_shard_report(self, fig2_graph):
+        results = BatchRunner(fig2_graph, jobs=1).run(_grid())
+        assert all(r.shard_timings is None for r in results)
+
+
+class TestInstanceMotifAttachment:
+    def test_serial_group_members_carry_their_own_motif(self, fig2_graph):
+        """Same-topology configs built from *distinct* Motif objects: each
+        result's instances must report that config's motif, not the
+        topology group's first motif (regression)."""
+        wide = Motif.cycle(3, delta=10, phi=0)
+        narrow = Motif.cycle(3, delta=8, phi=0)
+        serial = BatchRunner(fig2_graph, jobs=1).run([wide, narrow])
+        sharded = BatchRunner(fig2_graph, jobs=1, shards=3, backend="serial").run(
+            [wide, narrow]
+        )
+        for results in (serial, sharded):
+            assert all(i.motif is wide for i in results[0].instances)
+            assert all(i.motif is narrow for i in results[1].instances)

@@ -24,11 +24,13 @@ class TestExports:
         import repro.datasets
         import repro.experiments
         import repro.graph
+        import repro.parallel
         import repro.significance
 
         for module in (
             repro.analysis, repro.baselines, repro.core, repro.datasets,
-            repro.experiments, repro.graph, repro.significance,
+            repro.experiments, repro.graph, repro.parallel,
+            repro.significance,
         ):
             assert module.__doc__
 
@@ -42,6 +44,9 @@ class TestDocstrings:
             "repro.core.engine",
             "repro.core.dag",
             "repro.utils.timing",
+            "repro.parallel",
+            "repro.parallel.engine",
+            "repro.parallel.batch",
         ],
     )
     def test_doctests_pass(self, module_name):
