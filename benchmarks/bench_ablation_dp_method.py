@@ -1,9 +1,12 @@
-"""Ablation — the paper's O(τ²) DP recurrence vs our O(τ log τ) variant.
+"""Ablation — the paper's O(τ²) DP recurrence vs the sub-quadratic variants.
 
-Both evaluate Equation 2 exactly (asserted); the bisect variant exploits
-the monotonicity of the two min() arguments in the split point. The gap
-widens with event density per window, so Passenger (densest series)
-benefits most.
+All three evaluate Equation 2 exactly (asserted): ``bisect`` exploits the
+monotonicity of the two min() arguments in the split point; ``fused``
+additionally exploits monotonicity of the crossing index in the window
+endpoint, replacing the per-cell binary search with one amortized O(τ)
+two-pointer sweep per layer. The gap widens with event density per
+window, so Passenger (densest series) benefits most; see
+``benchmarks/bench_columnar_store.py`` for the kernel-only comparison.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ from repro.core.motif import paper_motifs
 
 
 @pytest.mark.parametrize("dataset", ["Bitcoin", "Facebook", "Passenger"])
-@pytest.mark.parametrize("method", ["quadratic", "bisect"])
+@pytest.mark.parametrize("method", ["quadratic", "bisect", "fused"])
 def test_dp_method(benchmark, engines, datasets, dataset, method):
     _, delta, phi = datasets[dataset]
     engine = engines[dataset]

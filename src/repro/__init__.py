@@ -38,6 +38,9 @@ Public API
 * :class:`ParallelFlowMotifEngine`, :class:`BatchRunner` — δ-overlap
   time-sharded multi-worker search and multi-motif batch grids
   (:mod:`repro.parallel`); also via ``FlowMotifEngine.parallel(jobs=N)``.
+* :class:`ColumnStore`, :func:`columnarize` — columnar zero-copy storage
+  with one-block shared-memory export/attach (:mod:`repro.graph.columnar`);
+  the process backend's fan-out transport.
 """
 
 from repro.core.dag import GeneralMotif, find_dag_instances
@@ -46,6 +49,7 @@ from repro.core.streaming import StreamingDetector
 from repro.core.instance import MotifInstance, Run, is_maximal, is_valid_instance
 from repro.core.matching import StructuralMatch, find_structural_matches
 from repro.core.motif import Motif, PAPER_MOTIF_PATHS, paper_motifs
+from repro.graph.columnar import ColumnarEdgeSeries, ColumnStore, columnarize
 from repro.graph.events import Interaction
 from repro.graph.interaction import InteractionGraph
 from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
@@ -83,5 +87,8 @@ __all__ = [
     "InteractionGraph",
     "EdgeSeries",
     "TimeSeriesGraph",
+    "ColumnStore",
+    "ColumnarEdgeSeries",
+    "columnarize",
     "__version__",
 ]

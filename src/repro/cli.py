@@ -99,28 +99,39 @@ def _cmd_find(args: argparse.Namespace) -> int:
         from repro.parallel import ParallelFlowMotifEngine
 
         engine = ParallelFlowMotifEngine(
-            graph, jobs=args.jobs, shards=args.shards, backend=args.backend
+            graph,
+            jobs=args.jobs,
+            shards=args.shards,
+            backend=args.backend,
+            use_shared_memory=not args.no_shm,
         )
     else:
         engine = FlowMotifEngine(graph)
-    if args.top:
-        instances = engine.top_k(motif, args.top)
-        print(f"top {len(instances)} instances of {motif.display_name}:")
-    else:
-        result = engine.find_instances(motif)
-        instances = result.instances
-        print(
-            f"{result.count} instances of {motif.display_name} "
-            f"({result.num_matches} structural matches, "
-            f"{result.total_seconds:.3f}s)"
-        )
-        if result.shard_timings is not None:
-            report = result.shard_timings
+    try:
+        if args.top:
+            instances = engine.top_k(motif, args.top)
+            print(f"top {len(instances)} instances of {motif.display_name}:")
+        else:
+            result = engine.find_instances(motif)
+            instances = result.instances
             print(
-                f"[{report.num_shards} shards, wall {report.wall_seconds:.3f}s, "
-                f"critical path {report.max_seconds:.3f}s, "
-                f"imbalance {report.imbalance_ratio:.2f}]"
+                f"{result.count} instances of {motif.display_name} "
+                f"({result.num_matches} structural matches, "
+                f"{result.total_seconds:.3f}s)"
             )
+            if result.shard_timings is not None:
+                report = result.shard_timings
+                print(
+                    f"[{report.num_shards} shards, wall {report.wall_seconds:.3f}s, "
+                    f"critical path {report.max_seconds:.3f}s, "
+                    f"imbalance {report.imbalance_ratio:.2f}]"
+                )
+    finally:
+        # Parallel engines may own a shared-memory export; unlink it
+        # deterministically rather than relying on interpreter shutdown.
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
     for instance in instances[: args.limit]:
         print(json.dumps(instance.as_dict()))
     return 0
@@ -180,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["process", "thread", "serial"],
         default="process",
         help="parallel execution backend (default process)",
+    )
+    find_parser.add_argument(
+        "--no-shm", action="store_true",
+        help=(
+            "disable the zero-copy shared-memory columnar store for the "
+            "process backend (workers then receive pickled shard slices)"
+        ),
     )
     return parser
 

@@ -13,15 +13,23 @@ where ``flow([t_j,t_i],κ)`` is the aggregated flow of ``R(e_κ)`` inside the
 closed interval. ``Flow([t1,ti],1)`` is the aggregated flow of ``R(e_1)``
 in ``[t_1, t_i]``.
 
-Two implementations are provided:
+Three implementations are provided:
 
 * :func:`max_flow_in_window` with ``method="quadratic"`` — the paper's
   ``O(m·τ²)`` recurrence, verbatim;
 * ``method="bisect"`` — an ``O(m·τ·log τ)`` improvement exploiting that
   ``Flow([t1,t_{j-1}],κ-1)`` is non-decreasing and ``flow([t_j,t_i],κ)``
   non-increasing in ``j``, so the inner maximization is a crossing-point
-  search. Both return identical values (property-tested); the ablation
-  benchmark compares them.
+  search;
+* ``method="fused"`` (the ``auto`` default) — an amortized ``O(m·τ)``
+  layer pass: the crossing index is also non-decreasing in ``i`` (the
+  interval sum only grows as the right endpoint moves), so one monotone
+  two-pointer sweep replaces the per-cell binary search, and the per-layer
+  interval-sum boundaries are precomputed into flat local arrays so the
+  inner loop touches no function call and no bisect.
+
+All return identical values (property-tested); the ablation benchmark and
+``benchmarks/bench_columnar_store.py`` compare them.
 
 The returned instance (when reconstruction is requested) is *valid* but not
 necessarily *maximal*: the DP optimizes flow only, and a maximal extension
@@ -32,6 +40,7 @@ optimum (tests assert this against full enumeration).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import merge as _heap_merge
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.enumeration import match_is_feasible
@@ -40,7 +49,11 @@ from repro.core.matching import StructuralMatch
 from repro.core.windows import Window, iter_maximal_windows
 from repro.graph.timeseries import EdgeSeries
 
-_METHODS = ("quadratic", "bisect", "auto")
+_METHODS = ("quadratic", "bisect", "fused", "auto")
+
+#: Below this window size the quadratic recurrence's tiny constant beats
+#: the fused pass's per-layer setup.
+_FUSED_MIN_TAU = 16
 
 
 @dataclass(frozen=True)
@@ -56,35 +69,65 @@ class TopOneResult:
 def _window_times(
     series_list: Sequence[EdgeSeries], window: Window
 ) -> List[float]:
-    """Sorted distinct event timestamps of the match inside the window."""
-    seen = set()
+    """Sorted distinct event timestamps of the match inside the window.
+
+    Each series is already time-sorted, so the union is a k-way merge of
+    the in-window slices (``O(τ log m)``) with consecutive duplicates
+    dropped — no set build, no global re-sort.
+    """
+    segments = []
     for series in series_list:
         lo, hi = series.indices_in_interval(window.start, window.end)
-        for idx in range(lo, hi + 1):
-            seen.add(series.times[idx])
-    return sorted(seen)
+        if hi >= lo:
+            segments.append(series.times[lo : hi + 1])
+    if not segments:
+        return []
+    out: List[float] = []
+    last = None
+    for t in segments[0] if len(segments) == 1 else _heap_merge(*segments):
+        if t != last:
+            out.append(t)
+            last = t
+    return out
 
 
-def _edge_interval_sums(
+def _edge_layer_bounds(
     series: EdgeSeries, times: List[float]
-) -> Tuple[List[int], List[int]]:
-    """Precompute per global-time-index series boundaries for O(1) interval
-    sums: ``left[i]`` = first series index with time >= times[i],
-    ``right[i]`` = last series index with time <= times[i] (may be -1)."""
+) -> Tuple[List[int], List[int], List[float], List[float]]:
+    """Fused per-layer precomputation for O(1) inline interval sums.
+
+    For each global time index ``i`` of the window timeline:
+
+    * ``left[i]``  — first series index with time >= times[i],
+    * ``right[i]`` — last series index with time <= times[i] (may be -1),
+    * ``left_cum[i]``  — ``cum[left[i]]``,
+    * ``right_cum[i]`` — ``cum[right[i] + 1]``,
+
+    so ``flow([t_j, t_i], κ) = right_cum[i] - left_cum[j]`` whenever
+    ``right[i] >= left[j]`` (and 0 otherwise) without touching the series
+    object inside the DP loops. One linear sweep per boundary — both
+    pointers are monotone in ``i``.
+    """
+    stimes = series.times
+    cum = series._cum  # prefix sums (friend access)
+    n = len(stimes)
     left: List[int] = []
     right: List[int] = []
-    n = len(series)
+    left_cum: List[float] = []
+    right_cum: List[float] = []
     lo = 0
     for t in times:
-        while lo < n and series.times[lo] < t:
+        while lo < n and stimes[lo] < t:
             lo += 1
         left.append(lo)
+        left_cum.append(cum[lo])
     hi = -1
     for t in times:
-        while hi + 1 < n and series.times[hi + 1] <= t:
+        while hi + 1 < n and stimes[hi + 1] <= t:
             hi += 1
         right.append(hi)
-    return left, right
+        right_cum.append(cum[hi + 1])
+    return left, right, left_cum, right_cum
 
 
 def max_flow_in_window(
@@ -107,65 +150,103 @@ def max_flow_in_window(
         return 0.0, None
     m = len(series_list)
     if method == "auto":
-        method = "bisect" if tau > 64 else "quadratic"
+        method = "fused" if tau >= _FUSED_MIN_TAU else "quadratic"
 
-    bounds = [_edge_interval_sums(s, times) for s in series_list]
-    cums = [s._cum for s in series_list]  # prefix sums (friend access)
+    # Per κ-layer flat boundary/prefix-sum arrays: inside the layer loops
+    # an interval sum is two list reads and a subtraction —
+    # flow([t_j,t_i],κ) = rcum[i] - lcum[j] when right[i] >= left[j].
+    bounds = [_edge_layer_bounds(s, times) for s in series_list]
 
-    def interval_sum(kappa: int, j: int, i: int) -> float:
-        """flow([t_j, t_i], κ) — aggregated flow of R(e_κ) in the closed
-        interval, via precomputed boundaries."""
-        left, right = bounds[kappa]
-        lo, hi = left[j], right[i]
-        if hi < lo:
-            return 0.0
-        cum = cums[kappa]
-        return cum[hi + 1] - cum[lo]
-
-    # Base layer: Flow([t1, ti], 1).
-    current = [interval_sum(0, 0, i) for i in range(tau)]
+    # Base layer: Flow([t1, ti], 1) = flow([t1, ti], 1).
+    left0, right0, lcum0, rcum0 = bounds[0]
+    l0, base = left0[0], lcum0[0]
+    current = [
+        rcum0[i] - base if right0[i] >= l0 else 0.0 for i in range(tau)
+    ]
     choices: List[List[int]] = []  # choices[kappa-1][i] = chosen j
 
     for kappa in range(1, m):
         previous = current
         current = [0.0] * tau
         choice_row = [0] * tau
+        left, right, lcum, rcum = bounds[kappa]
         if method == "quadratic":
             for i in range(tau):
                 best = 0.0
                 best_j = 0
+                ri, rci = right[i], rcum[i]
                 for j in range(1, i + 1):
-                    value = min(previous[j - 1], interval_sum(kappa, j, i))
+                    isum = rci - lcum[j] if ri >= left[j] else 0.0
+                    prev = previous[j - 1]
+                    value = prev if prev < isum else isum
                     if value > best:
                         best = value
                         best_j = j
                 current[i] = best
                 choice_row[i] = best_j
-        else:
+        elif method == "bisect":
             for i in range(tau):
                 best = 0.0
                 best_j = 0
+                ri, rci = right[i], rcum[i]
                 if i >= 1:
-                    # previous[j-1] non-decreasing in j; interval_sum(κ,j,i)
+                    # previous[j-1] non-decreasing in j; flow([t_j,t_i],κ)
                     # non-increasing in j → maximize min at the crossing.
                     lo, hi = 1, i
-                    # Find the largest j with previous[j-1] <= interval_sum.
-                    if previous[0] > interval_sum(kappa, 1, i):
+                    # Find the largest j with previous[j-1] <= the sum.
+                    isum = rci - lcum[1] if ri >= left[1] else 0.0
+                    if previous[0] > isum:
                         cross = 0  # predicate false everywhere
                     else:
                         while lo < hi:
                             mid = (lo + hi + 1) // 2
-                            if previous[mid - 1] <= interval_sum(kappa, mid, i):
+                            isum = rci - lcum[mid] if ri >= left[mid] else 0.0
+                            if previous[mid - 1] <= isum:
                                 lo = mid
                             else:
                                 hi = mid - 1
                         cross = lo
                     for j in (cross, cross + 1):
                         if 1 <= j <= i:
-                            value = min(previous[j - 1], interval_sum(kappa, j, i))
+                            isum = rci - lcum[j] if ri >= left[j] else 0.0
+                            prev = previous[j - 1]
+                            value = prev if prev < isum else isum
                             if value > best:
                                 best = value
                                 best_j = j
+                current[i] = best
+                choice_row[i] = best_j
+        else:  # fused: amortized O(τ) monotone two-pointer sweep
+            # The crossing index (largest j with previous[j-1] <= the
+            # interval sum) is non-decreasing in i: moving the right
+            # endpoint t_i later only grows flow([t_j,t_i],κ) while
+            # previous[j-1] is fixed. One pointer therefore serves the
+            # whole layer instead of a binary search per cell.
+            cross = 0
+            for i in range(tau):
+                ri, rci = right[i], rcum[i]
+                while cross < i:
+                    nj = cross + 1
+                    isum = rci - lcum[nj] if ri >= left[nj] else 0.0
+                    if previous[cross] <= isum:
+                        cross = nj
+                    else:
+                        break
+                best = 0.0
+                best_j = 0
+                if cross >= 1:  # optimum at the crossing: min == previous
+                    isum = rci - lcum[cross] if ri >= left[cross] else 0.0
+                    prev = previous[cross - 1]
+                    best = prev if prev < isum else isum
+                    best_j = cross
+                nj = cross + 1
+                if 1 <= nj <= i:  # or just past it: min == interval sum
+                    isum = rci - lcum[nj] if ri >= left[nj] else 0.0
+                    prev = previous[nj - 1]
+                    value = prev if prev < isum else isum
+                    if value > best:
+                        best = value
+                        best_j = nj
                 current[i] = best
                 choice_row[i] = best_j
         choices.append(choice_row)
@@ -271,16 +352,17 @@ def top_one_instance(
     """The maximum-flow instance of the motif over all structural matches."""
     best = TopOneResult(0.0, None, None, None)
     # Visiting promising matches first establishes a strong incumbent early,
-    # letting the per-window bound skip most of the remaining work.
-    ordered = sorted(
-        matches,
-        key=lambda m: min(s.total_flow for s in m.series),
+    # letting the per-window bound skip most of the remaining work. The
+    # bound (smallest total series flow — no instance can exceed it) is
+    # computed once per match and carried alongside it, serving both as
+    # the sort key and as the loop's cutoff test.
+    decorated = sorted(
+        ((min(s.total_flow for s in m.series), m) for m in matches),
+        key=lambda pair: pair[0],
         reverse=True,
     )
-    for match in ordered:
-        # The instance flow cannot exceed the smallest total series flow of
-        # the match; skip matches that cannot improve the incumbent.
-        if min(s.total_flow for s in match.series) <= best.flow:
+    for bound, match in decorated:
+        if bound <= best.flow:
             break  # sorted order: no later match can improve either
         candidate = top_one_in_match(
             match,

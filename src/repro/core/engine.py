@@ -146,10 +146,12 @@ class FlowMotifEngine:
         shards: Optional[int] = None,
         backend: str = "process",
         partition_strategy: str = "events",
+        use_shared_memory: bool = True,
     ):
         """A :class:`~repro.parallel.ParallelFlowMotifEngine` over the same
         graph — δ-overlap time-sharded search fanned out over ``jobs``
-        workers (see :mod:`repro.parallel`).
+        workers (see :mod:`repro.parallel`). ``use_shared_memory=False``
+        disables the process backend's zero-copy columnar transport.
 
         >>> g = InteractionGraph.from_tuples([("a", "b", 1.0, 5.0),
         ...                                   ("b", "c", 2.0, 4.0)])
@@ -166,6 +168,7 @@ class FlowMotifEngine:
             shards=shards,
             backend=backend,
             partition_strategy=partition_strategy,
+            use_shared_memory=use_shared_memory,
         )
 
     # ------------------------------------------------------------------

@@ -10,8 +10,11 @@ interaction time series ``R(u, v)`` (Figure 5 of the paper).
 * :class:`~repro.graph.interaction.InteractionGraph` — the input multigraph.
 * :class:`~repro.graph.timeseries.TimeSeriesGraph` — the merged view ``G_T``.
 * :class:`~repro.graph.timeseries.EdgeSeries` — one series ``R(u, v)``.
+* :class:`~repro.graph.columnar.ColumnStore` — flat columnar storage of all
+  series with zero-copy views and shared-memory export/attach.
 """
 
+from repro.graph.columnar import ColumnarEdgeSeries, ColumnStore, columnarize
 from repro.graph.events import Interaction
 from repro.graph.interaction import InteractionGraph
 from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
@@ -21,4 +24,7 @@ __all__ = [
     "InteractionGraph",
     "EdgeSeries",
     "TimeSeriesGraph",
+    "ColumnStore",
+    "ColumnarEdgeSeries",
+    "columnarize",
 ]

@@ -1,0 +1,508 @@
+"""Columnar zero-copy storage for :class:`~repro.graph.timeseries.TimeSeriesGraph`.
+
+The list-backed :class:`~repro.graph.timeseries.EdgeSeries` keeps three
+Python lists per connected pair. That representation is flexible but costly
+at scale: every process-pool dispatch pickles entire event lists, and every
+slice copies. :class:`ColumnStore` flattens *all* series of a graph into
+four contiguous typed buffers (stdlib :mod:`array` — no new dependency):
+
+``times``   float64, all timestamps, series-concatenated in slot order
+``flows``   float64, all flows, same layout
+``cum``     float64, per-series prefix sums (``len(series) + 1`` entries
+            each, so slot ``i``'s block starts at ``offsets[i] + i``)
+``offsets`` int64, ``num_series + 1`` event offsets; slot ``i``'s events
+            live in ``times[offsets[i]:offsets[i+1]]``
+
+Slots are assigned in the graph's deterministic ``all_series()`` order and
+indexed by ``(src, dst)`` pair. :class:`ColumnarEdgeSeries` is an
+:class:`EdgeSeries` whose backing containers are memoryview slices of these
+buffers — a zero-copy *view* that keeps the exact public API, so everything
+in :mod:`repro.core`, :mod:`repro.baselines` and :mod:`repro.experiments`
+works unchanged on a columnar graph.
+
+Shared-memory lifecycle
+-----------------------
+``store.to_shared()`` serializes the whole store into **one**
+``multiprocessing.shared_memory`` block (header + JSON pair table + the
+four buffers); ``ColumnStore.attach(name)`` maps it back in another process
+without copying a byte. The creator calls ``close(unlink=True)`` when every
+worker is done; attachers either call ``close()`` or simply exit (the
+segment is reference-counted by the OS, not the interpreter). The parallel
+engine (:mod:`repro.parallel.engine`) uses exactly this path so process
+workers receive only ``(shm_name, shard bounds)`` instead of pickled event
+lists.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from array import array
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.graph.events import Node
+from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+
+__all__ = [
+    "ColumnarEdgeSeries",
+    "ColumnStore",
+    "columnarize",
+    "supports_columnar",
+]
+
+#: Shared-memory header: magic, format version, JSON metadata byte length.
+_MAGIC = b"FMCOLSTO"
+_HEADER = struct.Struct("<8sQQ")
+_ALIGN = 8
+
+
+class ColumnarEdgeSeries(EdgeSeries):
+    """A zero-copy :class:`EdgeSeries` view over :class:`ColumnStore` buffers.
+
+    ``times``, ``flows`` and ``_cum`` are memoryview slices of the store's
+    flat arrays; construction neither sorts nor copies (the store flattened
+    already-sorted series). ``slot`` is the series' position in the store.
+    """
+
+    __slots__ = ("slot",)
+
+    def __init__(
+        self,
+        src: Node,
+        dst: Node,
+        times: memoryview,
+        flows: memoryview,
+        cum: memoryview,
+        slot: int,
+    ) -> None:
+        # Deliberately does not call EdgeSeries.__init__: the buffers are
+        # pre-sorted, pre-validated and must not be copied into lists.
+        self.src = src
+        self.dst = dst
+        self.times = times
+        self.flows = flows
+        self._cum = cum
+        self.slot = slot
+
+    def slice(self, lo: int, hi: int) -> "ColumnarEdgeSeries":
+        """Zero-copy sub-series of the elements with index in ``[lo, hi]``.
+
+        The ``_cum`` slice keeps one extra leading entry; ``total_flow``
+        and ``flow_between`` are prefix-sum *differences*, so the nonzero
+        base cancels out.
+        """
+        return ColumnarEdgeSeries(
+            self.src,
+            self.dst,
+            self.times[lo : hi + 1],
+            self.flows[lo : hi + 1],
+            self._cum[lo : hi + 2],
+            self.slot,
+        )
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _check_node(node: Node) -> Node:
+    if not isinstance(node, (int, str)) or isinstance(node, bool):
+        raise TypeError(
+            "columnar storage requires int or str node ids, "
+            f"got {type(node).__name__} ({node!r})"
+        )
+    return node
+
+
+def _lossless_float64(value) -> bool:
+    """Whether a timestamp/flow survives the float64 columns bit-exactly.
+
+    Python floats already are float64. int values are exact up to 2^53
+    (and must not overflow). Anything else (Fraction, Decimal, ...) is
+    rejected outright — float() would round it silently.
+    """
+    if isinstance(value, float):
+        return True
+    if isinstance(value, int) and not isinstance(value, bool):
+        try:
+            return int(float(value)) == value
+        except OverflowError:
+            return False
+    return False
+
+
+def supports_columnar(graph: TimeSeriesGraph) -> bool:
+    """Whether a graph can live in a :class:`ColumnStore` bit-exactly.
+
+    Two requirements: node ids must be ``int`` or ``str`` (the
+    shared-memory pair table is JSON), and every timestamp/flow must be
+    exactly representable as float64 (int values past 2^53 and non-float
+    numeric types like ``Fraction`` are not). :meth:`ColumnStore.
+    from_graph` enforces the same rules by raising; this predicate lets
+    callers (e.g. the parallel engine's automatic fallback) ask first.
+    """
+    if not all(
+        isinstance(node, (int, str)) and not isinstance(node, bool)
+        for node in graph.nodes
+    ):
+        return False
+    return all(
+        _lossless_float64(t) and _lossless_float64(f)
+        for series in graph.all_series()
+        for t, f in zip(series.times, series.flows)
+    )
+
+
+class ColumnStore:
+    """Flat columnar layout of every :class:`EdgeSeries` in one graph.
+
+    Build with :meth:`from_graph`, map a shared copy with :meth:`attach`.
+    ``times``/``flows``/``cum``/``offsets`` are memoryviews over either
+    process-local :mod:`array` buffers or a shared-memory block; all view
+    construction is zero-copy either way.
+    """
+
+    def __init__(
+        self,
+        pairs: List[Tuple[Node, Node]],
+        times: memoryview,
+        flows: memoryview,
+        cum: memoryview,
+        offsets: memoryview,
+        shm=None,
+        owns_shm: bool = False,
+    ) -> None:
+        self.pairs = pairs
+        self.times = times
+        self.flows = flows
+        self.cum = cum
+        self.offsets = offsets
+        self._slot_by_pair: Dict[Tuple[Node, Node], int] = {
+            pair: slot for slot, pair in enumerate(pairs)
+        }
+        self._shm = shm
+        self._owns_shm = owns_shm
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(
+        cls, graph: Union[TimeSeriesGraph, "object"]
+    ) -> "ColumnStore":
+        """Flatten a graph's series into contiguous typed arrays.
+
+        Accepts a :class:`TimeSeriesGraph` or anything with a
+        ``to_time_series()`` method (e.g. ``InteractionGraph``).
+        """
+        if not isinstance(graph, TimeSeriesGraph):
+            to_ts = getattr(graph, "to_time_series", None)
+            if to_ts is None:
+                raise TypeError(
+                    "graph must be a TimeSeriesGraph or provide "
+                    f"to_time_series(), got {type(graph).__name__}"
+                )
+            graph = to_ts()
+        series_list = graph.all_series()
+        pairs: List[Tuple[Node, Node]] = []
+        times = array("d")
+        flows = array("d")
+        cum = array("d")
+        offsets = array("q", [0])
+        for series in series_list:
+            pairs.append((_check_node(series.src), _check_node(series.dst)))
+            for value in series.times:
+                if not _lossless_float64(value):
+                    raise ValueError(
+                        f"timestamp {value!r} on {series.src}->{series.dst} "
+                        "is not exactly representable as float64; columnar "
+                        "storage would silently alter it"
+                    )
+            for value in series.flows:
+                if not _lossless_float64(value):
+                    raise ValueError(
+                        f"flow {value!r} on {series.src}->{series.dst} "
+                        "is not exactly representable as float64; columnar "
+                        "storage would silently alter it"
+                    )
+            times.extend(series.times)
+            flows.extend(series.flows)
+            cum.extend(series._cum)
+            offsets.append(len(times))
+        return cls(
+            pairs,
+            memoryview(times),
+            memoryview(flows),
+            memoryview(cum),
+            memoryview(offsets),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_series(self) -> int:
+        """Number of stored series (``|E_T|``)."""
+        return len(self.pairs)
+
+    @property
+    def num_events(self) -> int:
+        """Total number of stored interactions (``|E|``)."""
+        return len(self.times)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the four flat buffers."""
+        return sum(
+            v.nbytes for v in (self.times, self.flows, self.cum, self.offsets)
+        )
+
+    @property
+    def shm_name(self) -> Optional[str]:
+        """Name of the backing shared-memory block (None when local)."""
+        return self._shm.name if self._shm is not None else None
+
+    def slot(self, src: Node, dst: Node) -> Optional[int]:
+        """The slot of pair ``(src, dst)``, or None when absent."""
+        return self._slot_by_pair.get((src, dst))
+
+    def __repr__(self) -> str:
+        backing = (
+            f"shm={self._shm.name!r}" if self._shm is not None else "local"
+        )
+        return (
+            f"ColumnStore({self.num_series} series, "
+            f"{self.num_events} events, {self.nbytes} bytes, {backing})"
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def series_view(self, slot: int) -> ColumnarEdgeSeries:
+        """The zero-copy :class:`ColumnarEdgeSeries` for one slot."""
+        src, dst = self.pairs[slot]
+        lo = self.offsets[slot]
+        hi = self.offsets[slot + 1]
+        # Slot i's cum block carries one extra leading element per
+        # preceding series, hence the +slot shift.
+        return ColumnarEdgeSeries(
+            src,
+            dst,
+            self.times[lo:hi],
+            self.flows[lo:hi],
+            self.cum[lo + slot : hi + slot + 1],
+            slot,
+        )
+
+    def iter_series(self) -> Iterable[ColumnarEdgeSeries]:
+        """All series views in slot order."""
+        return (self.series_view(slot) for slot in range(self.num_series))
+
+    def to_graph(self) -> TimeSeriesGraph:
+        """A :class:`TimeSeriesGraph` whose series are zero-copy views.
+
+        The returned graph keeps a reference to this store (and therefore
+        to its shared-memory mapping, when present) alive for its lifetime.
+        """
+        graph = TimeSeriesGraph(self.iter_series())
+        graph._column_store = self  # keep the backing buffers alive
+        return graph
+
+    # ------------------------------------------------------------------
+    # Shared-memory export / attach
+    # ------------------------------------------------------------------
+
+    def _metadata_bytes(self) -> bytes:
+        meta = {
+            "num_series": self.num_series,
+            "num_events": self.num_events,
+            "pairs": [[src, dst] for src, dst in self.pairs],
+        }
+        return json.dumps(meta, separators=(",", ":")).encode("utf-8")
+
+    def to_shared(self, name: Optional[str] = None) -> "ColumnStore":
+        """Copy this store into one new shared-memory block.
+
+        Returns a new :class:`ColumnStore` whose buffers are views of the
+        block; the returned store *owns* the block (``close(unlink=True)``
+        removes it). The single copy happens here — every later
+        :meth:`attach` and every view built on top is zero-copy.
+        """
+        from multiprocessing import shared_memory
+
+        meta = self._metadata_bytes()
+        total = _layout(len(meta), self.num_series, self.num_events)[-1]
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(total, 1), name=name
+        )
+        buf = shm.buf
+        _HEADER.pack_into(buf, 0, _MAGIC, 1, len(meta))
+        buf[_HEADER.size : _HEADER.size + len(meta)] = meta
+        offsets_v, times_v, flows_v, cum_v = _carve(
+            buf, len(meta), self.num_series, self.num_events
+        )
+        offsets_v[:] = self.offsets
+        times_v[:] = self.times
+        flows_v[:] = self.flows
+        cum_v[:] = self.cum
+        return ColumnStore(
+            list(self.pairs), times_v, flows_v, cum_v, offsets_v,
+            shm=shm, owns_shm=True,
+        )
+
+    @classmethod
+    def attach(cls, name: str) -> "ColumnStore":
+        """Map an exported store by shared-memory name, without copying.
+
+        The attached store does not own the block: ``close()`` releases
+        the local mapping only; the exporter is responsible for
+        ``unlink``-ing.
+        """
+        shm = _open_shared_memory(name)
+        buf = shm.buf
+        magic, version, meta_len = _HEADER.unpack_from(buf, 0)
+        if magic != _MAGIC:
+            shm.close()
+            raise ValueError(
+                f"shared memory block {name!r} is not a ColumnStore export"
+            )
+        if version != 1:
+            shm.close()
+            raise ValueError(
+                f"unsupported ColumnStore format version {version}"
+            )
+        meta = json.loads(
+            bytes(buf[_HEADER.size : _HEADER.size + meta_len]).decode("utf-8")
+        )
+        pairs = [(src, dst) for src, dst in meta["pairs"]]
+        num_series, num_events = meta["num_series"], meta["num_events"]
+        offsets_v, times_v, flows_v, cum_v = _carve(
+            buf, meta_len, num_series, num_events
+        )
+        return cls(
+            pairs, times_v, flows_v, cum_v, offsets_v, shm=shm, owns_shm=False
+        )
+
+    def close(self, unlink: bool = False) -> None:
+        """Release buffer views and the shared-memory mapping.
+
+        ``unlink=True`` (owner side) also removes the block from the
+        system; plain ``close()`` only drops this process's mapping, so
+        other attachments keep working. Safe to call twice. Must not be
+        called while graph views built from this store are still alive —
+        their memoryviews pin the mapping (``BufferError``); a requested
+        unlink happens first regardless, so the block is removed even
+        when the local mapping cannot be closed yet.
+        """
+        for attr in ("times", "flows", "cum", "offsets"):
+            view = getattr(self, attr, None)
+            if isinstance(view, memoryview):
+                view.release()
+            setattr(self, attr, None)
+        if self._shm is not None:
+            shm, self._shm = self._shm, None
+            if unlink and hasattr(shm, "unlink"):
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+            shm.close()
+
+    def unlink(self) -> None:
+        """Remove the backing shared-memory block (owner-side cleanup)."""
+        self.close(unlink=True)
+
+
+def _layout(
+    meta_len: int, num_series: int, num_events: int
+) -> Tuple[int, int, int, int, int]:
+    """Byte offsets of (offsets, times, flows, cum) plus total size.
+
+    The single source of truth for the shared-block format — both
+    :meth:`ColumnStore.to_shared` and :meth:`ColumnStore.attach` carve
+    with it.
+    """
+    off0 = _align(_HEADER.size + meta_len)
+    off1 = off0 + 8 * (num_series + 1)  # offsets: int64
+    off2 = off1 + 8 * num_events  # times: float64
+    off3 = off2 + 8 * num_events  # flows: float64
+    total = off3 + 8 * (num_events + num_series)  # cum: float64
+    return off0, off1, off2, off3, total
+
+
+def _carve(
+    buf: memoryview, meta_len: int, num_series: int, num_events: int
+) -> Tuple[memoryview, memoryview, memoryview, memoryview]:
+    """Cast the four column regions of a shared buffer to typed views."""
+    off0, off1, off2, off3, end = _layout(meta_len, num_series, num_events)
+    offsets_v = buf[off0:off1].cast("q")
+    times_v = buf[off1:off2].cast("d")
+    flows_v = buf[off2:off3].cast("d")
+    cum_v = buf[off3:end].cast("d")
+    return offsets_v, times_v, flows_v, cum_v
+
+
+class _AttachedBlock:
+    """Minimal stand-in for ``SharedMemory`` on attach-only mappings.
+
+    Provides the ``name``/``buf``/``close()`` surface :class:`ColumnStore`
+    uses, backed by a direct ``shm_open`` + ``mmap`` pair. Exists because
+    Python < 3.13 registers even attach-only ``SharedMemory`` objects with
+    the multiprocessing resource tracker, which then either unlinks the
+    exporter's block when an attaching process exits (spawn) or corrupts
+    the shared registry (fork). Attachers never unlink, so no tracking is
+    wanted.
+    """
+
+    def __init__(self, name: str, mm) -> None:
+        self.name = name
+        self._mmap = mm
+        self.buf: Optional[memoryview] = memoryview(mm)
+
+    def close(self) -> None:
+        if self.buf is not None:
+            self.buf.release()
+            self.buf = None
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+
+
+def _open_shared_memory(name: str):
+    """Attach to an existing block without resource-tracker side effects."""
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    try:
+        import _posixshmem
+        import mmap
+        import os
+    except ImportError:  # non-POSIX: tracker is not involved anyway
+        return shared_memory.SharedMemory(name=name, create=False)
+    fd = _posixshmem.shm_open(
+        name if name.startswith("/") else "/" + name, os.O_RDWR, mode=0o600
+    )
+    try:
+        mm = mmap.mmap(fd, os.fstat(fd).st_size)
+    finally:
+        os.close(fd)
+    return _AttachedBlock(name, mm)
+
+
+def columnarize(
+    graph: Union[TimeSeriesGraph, "object"]
+) -> TimeSeriesGraph:
+    """Convenience: rebuild a graph on columnar zero-copy storage.
+
+    ``columnarize(g)`` is equivalent to
+    ``ColumnStore.from_graph(g).to_graph()``; the result behaves exactly
+    like ``g`` (equal series, same search output) but is backed by flat
+    contiguous buffers.
+    """
+    return ColumnStore.from_graph(graph).to_graph()

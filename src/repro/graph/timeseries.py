@@ -11,6 +11,11 @@ a prefix-sum array of flows, so that
 * locating window boundaries is ``O(log n)`` (binary search), and
 * the aggregated flow of any contiguous run is ``O(1)``.
 
+The backing arrays may be plain lists (this module) or zero-copy memoryview
+slices over a flat :class:`~repro.graph.columnar.ColumnStore` buffer; every
+accessor, as well as equality and hashing, is backend-agnostic, so the two
+representations are interchangeable throughout :mod:`repro.core`.
+
 Contiguous runs are all the algorithms ever need: a maximal motif instance
 assigns to each motif edge *every* series element inside a time interval
 (see :mod:`repro.core.enumeration`), which is a contiguous run of the series.
@@ -88,14 +93,23 @@ class EdgeSeries:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, EdgeSeries):
             return NotImplemented
-        return (
-            self.src == other.src
-            and self.dst == other.dst
-            and self.times == other.times
-            and self.flows == other.flows
-        )
+        if (
+            self.src != other.src
+            or self.dst != other.dst
+            or len(self.times) != len(other.times)
+        ):
+            return False
+        if type(self.times) is list and type(other.times) is list:
+            return self.times == other.times and self.flows == other.flows
+        # Mixed backings: normalize, since memoryview == list is always
+        # False even when the contents agree.
+        return list(self.times) == list(other.times) and list(
+            self.flows
+        ) == list(other.flows)
 
     def __hash__(self) -> int:
+        # tuple() normalizes the backing container, and hash(1) == hash(1.0)
+        # keeps int-timed list series consistent with float columnar views.
         return hash((self.src, self.dst, tuple(self.times)))
 
     def time(self, index: int) -> float:
@@ -116,8 +130,13 @@ class EdgeSeries:
 
     @property
     def total_flow(self) -> float:
-        """Sum of all flows in the series."""
-        return self._cum[-1]
+        """Sum of all flows in the series.
+
+        Computed as a prefix-sum difference so that zero-copy slices, whose
+        ``_cum`` view starts at the parent's running total rather than 0,
+        report the flow of the slice alone.
+        """
+        return self._cum[-1] - self._cum[0]
 
     @property
     def first_time(self) -> float:
@@ -170,6 +189,16 @@ class EdgeSeries:
         hi = self.last_index_at_or_before(end)
         return lo, hi
 
+    def slice(self, lo: int, hi: int) -> "EdgeSeries":
+        """A new series holding the elements with index in ``[lo, hi]``.
+
+        The base implementation copies; columnar views override it with a
+        zero-copy memoryview slice. Both produce series that compare equal.
+        """
+        return EdgeSeries(
+            self.src, self.dst, self.times[lo : hi + 1], self.flows[lo : hi + 1]
+        )
+
 
 class TimeSeriesGraph:
     """The time-series graph ``G_T(V, E_T)`` of Section 4.
@@ -183,20 +212,29 @@ class TimeSeriesGraph:
         self._by_pair: Dict[Tuple[Node, Node], EdgeSeries] = {}
         self._out: Dict[Node, List[EdgeSeries]] = {}
         self._in: Dict[Node, List[EdgeSeries]] = {}
-        self._nodes: set = set()
+        nodes: set = set()
         for s in series:
             key = (s.src, s.dst)
             if key in self._by_pair:
                 raise ValueError(f"duplicate edge series for pair {key}")
             self._by_pair[key] = s
-            self._nodes.add(s.src)
-            self._nodes.add(s.dst)
+            nodes.add(s.src)
+            nodes.add(s.dst)
             self._out.setdefault(s.src, []).append(s)
             self._in.setdefault(s.dst, []).append(s)
         # Deterministic iteration order helps seeded experiments reproduce.
         for adj in (self._out, self._in):
             for node in adj:
                 adj[node].sort(key=lambda s: (repr(s.src), repr(s.dst)))
+        # The graph is immutable after construction, so the aggregates the
+        # hot paths ask for repeatedly are computed once here: the frozen
+        # vertex set, the event count, and the (src, dst)-sorted series
+        # tuple (previously re-sorted on every all_series() call).
+        self._nodes: frozenset = frozenset(nodes)
+        self._num_events: int = sum(len(s) for s in self._by_pair.values())
+        self._all_series: Tuple[EdgeSeries, ...] = tuple(
+            self._by_pair[k] for k in sorted(self._by_pair, key=repr)
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -221,8 +259,11 @@ class TimeSeriesGraph:
     # ------------------------------------------------------------------
 
     @property
-    def nodes(self) -> set:
-        """The vertex set (vertices incident to at least one interaction)."""
+    def nodes(self) -> frozenset:
+        """The vertex set (vertices incident to at least one interaction).
+
+        Returned frozen: callers cannot mutate the graph's internal state.
+        """
         return self._nodes
 
     @property
@@ -236,8 +277,9 @@ class TimeSeriesGraph:
 
     @property
     def num_events(self) -> int:
-        """Total number of interactions across all series, i.e. ``|E|``."""
-        return sum(len(s) for s in self._by_pair.values())
+        """Total number of interactions across all series, i.e. ``|E|``
+        (cached at construction)."""
+        return self._num_events
 
     def series(self, src: Node, dst: Node) -> Optional[EdgeSeries]:
         """The series ``R(src, dst)``, or None if the pair is not connected."""
@@ -256,8 +298,13 @@ class TimeSeriesGraph:
         return self._in.get(node, [])
 
     def all_series(self) -> List[EdgeSeries]:
-        """Every edge series, in deterministic (src, dst) order."""
-        return [self._by_pair[k] for k in sorted(self._by_pair, key=repr)]
+        """Every edge series, in deterministic (src, dst) order.
+
+        Backed by the tuple cached at construction — per-call cost drops
+        from an ``O(|E_T| log |E_T|)`` sort to a shallow copy, and mutating
+        the returned list cannot corrupt the graph's internal ordering.
+        """
+        return list(self._all_series)
 
     def __repr__(self) -> str:
         return (

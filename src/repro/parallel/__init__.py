@@ -12,7 +12,10 @@ to exactly one owning shard. This package builds on that observation:
   anchored-ownership rule that makes sharded output exact;
 * :mod:`repro.parallel.worker` — module-level worker functions (search,
   count, top-k, batch) that a :class:`~concurrent.futures.Executor` can
-  pickle;
+  pickle, plus the ``"columnar"`` zero-copy envelope: process workers
+  receive ``(shm_name, shard bounds)``, attach the shared
+  :class:`~repro.graph.columnar.ColumnStore` once per process, and slice
+  their shard as memoryviews over the shared block;
 * :mod:`repro.parallel.merge` — the **deduplicating merger** that rebinds
   shard-local instances onto the parent graph's series and aggregates
   per-shard timings;
@@ -40,13 +43,18 @@ Quick start
 from repro.parallel.batch import BatchRunner, MotifConfig
 from repro.parallel.engine import ParallelFlowMotifEngine
 from repro.parallel.merge import merge_search_results
-from repro.parallel.partition import TimeShard, partition_time_range
+from repro.parallel.partition import (
+    TimeShard,
+    materialize_shard,
+    partition_time_range,
+)
 
 __all__ = [
     "BatchRunner",
     "MotifConfig",
     "ParallelFlowMotifEngine",
     "TimeShard",
+    "materialize_shard",
     "partition_time_range",
     "merge_search_results",
 ]

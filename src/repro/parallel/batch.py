@@ -245,7 +245,7 @@ class BatchRunner:
                 (i, c.motif, c.effective_delta, c.effective_phi)
                 for i, c in enumerate(configs)
             ]
-            tasks = [("batch", shard, specs, collect) for shard in shards]
+            tasks = self._engine._shard_tasks(shards, "batch", specs, collect)
             grouped = self._engine._dispatch(tasks)
             # grouped[s] is the list of per-config outputs from shard s.
             per_config: List[List[_worker.ShardSearchOutput]] = [

@@ -20,8 +20,13 @@ Backends
 --------
 ``"process"`` (default)
     :class:`concurrent.futures.ProcessPoolExecutor` — true multi-core
-    speedup; shard payloads and results must pickle (they do for all
-    built-in node types; pass ``backend="thread"`` for exotic ones).
+    speedup. With ``use_shared_memory=True`` (default) the graph is
+    exported once into a shared-memory
+    :class:`~repro.graph.columnar.ColumnStore` and each worker receives
+    only ``(shm_name, shard bounds)`` — zero-copy fan-out; workers
+    rebuild their slice as memoryview views over the shared block.
+    Results must still pickle (they do for all built-in node types;
+    pass ``backend="thread"`` for exotic ones).
 ``"thread"``
     :class:`concurrent.futures.ThreadPoolExecutor` — no pickling and no
     fork cost; useful for testing and for C-extension-heavy futures.
@@ -42,11 +47,16 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.core.engine import SearchResult
 from repro.core.instance import MotifInstance
 from repro.core.motif import Motif
+from repro.graph.columnar import ColumnStore
 from repro.graph.interaction import InteractionGraph
 from repro.graph.timeseries import TimeSeriesGraph
 from repro.parallel import merge as _merge
 from repro.parallel import worker as _worker
-from repro.parallel.partition import TimeShard, partition_time_range
+from repro.parallel.partition import (
+    TimeShard,
+    materialize_shard,
+    partition_time_range,
+)
 from repro.utils.timing import Timer
 
 _BACKENDS = ("process", "thread", "serial")
@@ -77,12 +87,24 @@ class ParallelFlowMotifEngine:
     partition_strategy:
         ``"events"`` (load-balanced quantile cuts, default) or
         ``"width"`` (equal-length time intervals).
+    use_shared_memory:
+        Process backend only: export the graph once into a shared-memory
+        :class:`~repro.graph.columnar.ColumnStore` and ship workers
+        ``(shm_name, shard bounds)`` instead of pickled series (default
+        True). Disable to fall back to pickled shard slices, e.g. on
+        platforms without POSIX shared memory. Graphs whose node ids are
+        not ``int``/``str`` fall back automatically.
 
     Notes
     -----
     Each query partitions the timeline with a halo equal to its effective
     δ (partitions are memoized per (shards, halo, strategy), so δ-sweeps
     à la Figure 9 reuse one partition per δ).
+
+    A zero-copy engine owns one shared-memory block for its graph; it is
+    created lazily on the first process fan-out, reused by every later
+    query, and removed by :meth:`close` (also wired to garbage
+    collection, and to ``with ParallelFlowMotifEngine(...) as engine:``).
     """
 
     def __init__(
@@ -92,6 +114,7 @@ class ParallelFlowMotifEngine:
         shards: Optional[int] = None,
         backend: str = "process",
         partition_strategy: str = "events",
+        use_shared_memory: bool = True,
     ) -> None:
         if isinstance(graph, InteractionGraph):
             self._ts = graph.to_time_series()
@@ -110,6 +133,16 @@ class ParallelFlowMotifEngine:
         self.num_shards = max(1, shards if shards is not None else self.jobs)
         self.backend = backend
         self.partition_strategy = partition_strategy
+        # Zero-copy fan-out only pays off (and only applies) when shard
+        # tasks actually cross a process boundary. Graphs a ColumnStore
+        # cannot hold bit-exactly (exotic node ids, values not exact in
+        # float64) are detected when the export is first attempted and
+        # flip this flag back off — see _shard_tasks.
+        self._zero_copy = (
+            use_shared_memory and backend == "process" and self.jobs > 1
+        )
+        self._export: Optional[ColumnStore] = None
+        self._export_owned = False
         self._partition_cache: dict = {}
         self._sorted_times: Optional[List[float]] = None
 
@@ -142,6 +175,10 @@ class ParallelFlowMotifEngine:
             halo,
             strategy=self.partition_strategy,
             sorted_times=self._sorted_times,
+            # Zero-copy mode keeps parent-side shards light (bounds +
+            # rebinding offsets, no sliced copies): workers re-slice
+            # their own views of the shared columnar store.
+            materialize=not self._zero_copy,
         )
         self._partition_cache[key] = shards
         while len(self._partition_cache) > _PARTITION_CACHE_SIZE:
@@ -152,6 +189,104 @@ class ParallelFlowMotifEngine:
         """Drop memoized partitions (e.g. after replacing the graph)."""
         self._partition_cache.clear()
         self._sorted_times = None
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Shared-memory export lifecycle (zero-copy process fan-out)
+    # ------------------------------------------------------------------
+
+    def _shared_store(self) -> ColumnStore:
+        """The engine's shared-memory export, created on first use.
+
+        A graph already backed by a shared :class:`ColumnStore` (e.g.
+        ``ColumnStore.attach(name).to_graph()``) is reused as-is — no
+        second copy, and the engine does not take ownership.
+        """
+        if self._export is None:
+            base = getattr(self._ts, "_column_store", None)
+            if base is not None and base.shm_name is not None:
+                self._export = base
+                self._export_owned = False
+            else:
+                store = (
+                    base
+                    if base is not None
+                    else ColumnStore.from_graph(self._ts)
+                )
+                self._export = store.to_shared()
+                self._export_owned = True
+        return self._export
+
+    def close(self) -> None:
+        """Release the shared-memory export (if this engine owns one).
+
+        Queries after ``close()`` re-export lazily; calling it twice is
+        safe.
+        """
+        export, self._export = self._export, None
+        if export is not None and self._export_owned:
+            self._export_owned = False
+            try:
+                export.close(unlink=True)
+            except BufferError:
+                pass  # a view outlives us; the OS reclaims at process exit
+
+    def __enter__(self) -> "ParallelFlowMotifEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _shard_tasks(
+        self, shards: Sequence[TimeShard], kind: str, *args
+    ) -> List[Tuple]:
+        """Wrap one inner task per shard in the backend's payload form.
+
+        Zero-copy mode envelopes the inner task as ``("columnar",
+        shm_name, shard.bounds, kind, *args)`` — the only per-worker
+        payload is the shared-memory name and five numbers. Other modes
+        ship the materialized shard inline: ``(kind, shard, *args)``.
+
+        A single shard never leaves this process (``_dispatch`` runs it
+        inline), so the envelope — and the shared-memory export it would
+        force — is skipped. A graph the columnar store cannot hold
+        bit-exactly (exotic node ids, values not exact in float64) is
+        detected on the first export attempt and permanently flips the
+        engine to the pickled transport — one validation scan, no
+        query-time failure.
+
+        Light shards reaching the inline/pickled path are materialized
+        here, list-backed (safe to pickle), and cached in place so
+        repeat queries on the same partition pay the copy once.
+        """
+        if self._zero_copy and len(shards) > 1:
+            try:
+                name = self._shared_store().shm_name
+            except (TypeError, ValueError, OSError):
+                # TypeError/ValueError: the graph cannot live in a
+                # ColumnStore bit-exactly (exotic node ids, values not
+                # exact in float64). OSError: shared memory itself is
+                # unavailable or too small (e.g. a container's 64 MB
+                # /dev/shm). Either way the pickled transport works.
+                self._zero_copy = False
+                self._partition_cache.clear()
+            else:
+                return [
+                    ("columnar", name, shard.bounds, kind) + args
+                    for shard in shards
+                ]
+        for shard in shards:
+            if shard.graph is None:
+                shard.graph = materialize_shard(
+                    self._ts, shard.bounds, zero_copy=False
+                ).graph
+        return [(kind, shard) + args for shard in shards]
 
     def _dispatch(self, tasks: Sequence[Tuple]) -> List:
         """Run shard tasks on the configured backend, preserving order."""
@@ -189,19 +324,16 @@ class ParallelFlowMotifEngine:
         effective_phi = motif.phi if phi is None else phi
         with Timer() as wall:
             shards = self.partition(effective_delta)
-            tasks = [
-                (
-                    "search",
-                    shard,
-                    motif,
-                    effective_delta,
-                    effective_phi,
-                    collect,
-                    skip_rule,
-                    prefix_pruning,
-                )
-                for shard in shards
-            ]
+            tasks = self._shard_tasks(
+                shards,
+                "search",
+                motif,
+                effective_delta,
+                effective_phi,
+                collect,
+                skip_rule,
+                prefix_pruning,
+            )
             outputs = self._dispatch(tasks)
         return _merge.merge_search_results(
             motif, shards, outputs, self._ts, wall_seconds=wall.elapsed
@@ -218,10 +350,9 @@ class ParallelFlowMotifEngine:
         effective_phi = motif.phi if phi is None else phi
         with Timer() as wall:
             shards = self.partition(effective_delta)
-            tasks = [
-                ("count", shard, motif, effective_delta, effective_phi)
-                for shard in shards
-            ]
+            tasks = self._shard_tasks(
+                shards, "count", motif, effective_delta, effective_phi
+            )
             outputs = self._dispatch(tasks)
         return _merge.merge_search_results(
             motif, shards, outputs, self._ts, wall_seconds=wall.elapsed
@@ -237,8 +368,6 @@ class ParallelFlowMotifEngine:
         computed as a merge of per-shard top-k candidate lists."""
         effective_delta = motif.delta if delta is None else delta
         shards = self.partition(effective_delta)
-        tasks = [
-            ("top_k", shard, motif, k, effective_delta) for shard in shards
-        ]
+        tasks = self._shard_tasks(shards, "top_k", motif, k, effective_delta)
         outputs = self._dispatch(tasks)
         return _merge.merge_top_k(motif, shards, outputs, self._ts, k)

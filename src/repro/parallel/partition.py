@@ -32,6 +32,16 @@ Shard series are contiguous index slices of the parent series, and
 back to the parent series as ``[lo + offset, hi + offset]`` — the merger
 uses the recorded per-pair offsets to rebind instances onto the parent
 graph (:mod:`repro.parallel.merge`).
+
+Two materialization modes exist. ``materialize=True`` (default) slices the
+parent series into per-shard copies — the payload the thread/serial
+backends use directly. ``materialize=False`` produces *light* shards
+(``graph=None``): only the cut bounds and rebinding offsets, computed with
+bisects and no copying. The process backend ships light-shard bounds plus
+a shared-memory name; each worker re-materializes its slice as zero-copy
+memoryview views over the attached :class:`~repro.graph.columnar.
+ColumnStore` (:func:`materialize_shard`). Both modes cut identically, so
+worker-side slices line up exactly with the parent-side offsets.
 """
 
 from __future__ import annotations
@@ -64,7 +74,9 @@ class TimeShard:
         Overlap width (>= the search δ) applied on both sides of the core.
     graph:
         The sliced :class:`TimeSeriesGraph` holding every event in
-        ``[core_start - halo, core_end + halo]``.
+        ``[core_start - halo, core_end + halo]`` — or ``None`` for a
+        *light* shard, whose slice is re-materialized inside the worker
+        from a shared-memory :class:`~repro.graph.columnar.ColumnStore`.
     offsets:
         Per (src, dst) pair, the parent-series index of the slice's first
         element — the rebinding map used by the merger.
@@ -75,8 +87,20 @@ class TimeShard:
     core_start: float
     core_end: float
     halo: float
-    graph: TimeSeriesGraph
+    graph: Optional[TimeSeriesGraph]
     offsets: Dict[Pair, int] = field(default_factory=dict)
+
+    @property
+    def bounds(self) -> Tuple[int, int, float, float, float]:
+        """The picklable payload a process worker needs to re-materialize
+        this shard against an attached columnar store."""
+        return (
+            self.index,
+            self.num_shards,
+            self.core_start,
+            self.core_end,
+            self.halo,
+        )
 
     @property
     def anchor_range(self) -> Tuple[float, float]:
@@ -85,18 +109,23 @@ class TimeShard:
 
     @property
     def num_events(self) -> int:
-        """Events in the shard (core plus halo) — the load-balance metric."""
-        return self.graph.num_events
+        """Events in the shard (core plus halo) — the load-balance metric.
+
+        0 for light shards, whose slice only exists inside the worker.
+        """
+        return self.graph.num_events if self.graph is not None else 0
 
     def owns_anchor(self, t: float) -> bool:
         """Whether an instance anchored at ``t`` belongs to this shard."""
         return self.core_start <= t < self.core_end
 
     def __repr__(self) -> str:
+        payload = (
+            f"{self.num_events} events" if self.graph is not None else "light"
+        )
         return (
             f"TimeShard({self.index}/{self.num_shards}, "
-            f"core=[{self.core_start:g}, {self.core_end:g}), "
-            f"{self.num_events} events)"
+            f"core=[{self.core_start:g}, {self.core_end:g}), {payload})"
         )
 
 
@@ -122,12 +151,49 @@ def _cut_points(
     return cuts
 
 
+def _slice_all_series(
+    all_series: List[EdgeSeries],
+    data_start: float,
+    data_end: float,
+    materialize: bool,
+    zero_copy: bool = False,
+) -> Tuple[List[EdgeSeries], Dict[Pair, int]]:
+    """One shard's per-series cut: slices (when materializing) + offsets.
+
+    The single source of truth for where a shard's slice begins — used by
+    both :func:`partition_time_range` (parent side, records the rebinding
+    offsets) and :func:`materialize_shard` (worker side, produces the
+    slices) so the two can never drift apart.
+
+    ``zero_copy=True`` (worker side) dispatches to the series' own
+    ``slice`` — memoryview views for columnar backings. The parent-side
+    default forces list-backed copies even off a columnar graph, because
+    materialized shards may be pickled (process backend with shared
+    memory disabled) and memoryviews cannot be.
+    """
+    sliced: List[EdgeSeries] = []
+    offsets: Dict[Pair, int] = {}
+    for series in all_series:
+        lo, hi = series.indices_in_interval(data_start, data_end)
+        if hi < lo:
+            continue
+        if materialize:
+            sliced.append(
+                series.slice(lo, hi)
+                if zero_copy
+                else EdgeSeries.slice(series, lo, hi)
+            )
+        offsets[(series.src, series.dst)] = lo
+    return sliced, offsets
+
+
 def partition_time_range(
     graph: Union[InteractionGraph, TimeSeriesGraph],
     num_shards: int,
     halo: float,
     strategy: str = "events",
     sorted_times: Optional[List[float]] = None,
+    materialize: bool = True,
 ) -> List[TimeShard]:
     """Split a graph into time shards with a ``halo``-sized overlap.
 
@@ -151,6 +217,12 @@ def partition_time_range(
         The flattened sort is O(|E| log |E|) and independent of the halo,
         so callers partitioning the same graph repeatedly (δ-sweeps)
         should compute it once and pass it in.
+    materialize:
+        ``True`` (default) builds per-shard sliced copies of the series —
+        what thread/serial workers consume directly. ``False`` builds
+        light shards (``graph=None``) carrying only bounds and rebinding
+        offsets: the zero-copy process backend ships those bounds and has
+        each worker slice its own view of the shared columnar store.
 
     Returns
     -------
@@ -185,23 +257,9 @@ def partition_time_range(
     total = len(bounds) - 1
     for i in range(total):
         core_start, core_end = bounds[i], bounds[i + 1]
-        data_start = core_start - halo
-        data_end = core_end + halo
-        sliced: List[EdgeSeries] = []
-        offsets: Dict[Pair, int] = {}
-        for series in all_series:
-            lo, hi = series.indices_in_interval(data_start, data_end)
-            if hi < lo:
-                continue
-            sliced.append(
-                EdgeSeries(
-                    series.src,
-                    series.dst,
-                    series.times[lo : hi + 1],
-                    series.flows[lo : hi + 1],
-                )
-            )
-            offsets[(series.src, series.dst)] = lo
+        sliced, offsets = _slice_all_series(
+            all_series, core_start - halo, core_end + halo, materialize
+        )
         shards.append(
             TimeShard(
                 index=i,
@@ -209,8 +267,41 @@ def partition_time_range(
                 core_start=core_start,
                 core_end=core_end,
                 halo=halo,
-                graph=TimeSeriesGraph(sliced),
+                graph=TimeSeriesGraph(sliced) if materialize else None,
                 offsets=offsets,
             )
         )
     return shards
+
+
+def materialize_shard(
+    graph: TimeSeriesGraph,
+    bounds: Tuple[int, int, float, float, float],
+    zero_copy: bool = True,
+) -> TimeShard:
+    """Rebuild one shard's slice against an attached graph (worker side).
+
+    ``bounds`` is :attr:`TimeShard.bounds`; ``graph`` is typically the
+    columnar view of a shared-memory store, in which case every slice is
+    a zero-copy memoryview over the shared buffers. The bisection is the
+    same one :func:`partition_time_range` performs, so shard-local index
+    ranges line up exactly with the parent-side rebinding offsets.
+
+    ``zero_copy=False`` forces list-backed slices — what the engine uses
+    when a light shard ends up on the inline/pickled path, where the
+    result may have to pickle.
+    """
+    index, num_shards, core_start, core_end, halo = bounds
+    sliced, offsets = _slice_all_series(
+        graph.all_series(), core_start - halo, core_end + halo, True,
+        zero_copy=zero_copy,
+    )
+    return TimeShard(
+        index=index,
+        num_shards=num_shards,
+        core_start=core_start,
+        core_end=core_end,
+        halo=halo,
+        graph=TimeSeriesGraph(sliced),
+        offsets=offsets,
+    )

@@ -6,6 +6,14 @@ Motif`, plain floats), so the functions can be dispatched over a
 :class:`concurrent.futures.ProcessPoolExecutor` as well as called inline
 for the thread/serial backends.
 
+The process backend's default transport is the ``"columnar"`` envelope:
+instead of a pickled :class:`TimeShard`, a task carries the name of a
+shared-memory :class:`~repro.graph.columnar.ColumnStore` plus the shard's
+cut bounds. The worker attaches the store once per process (cached in
+:data:`_ATTACHED`), rebuilds the graph as zero-copy memoryview views, and
+re-materializes its shard slice locally — spawn payload drops from
+O(events) to O(1) per shard.
+
 Workers do **not** ship :class:`~repro.core.instance.MotifInstance`
 objects back to the parent: an instance found in a shard is reduced to a
 compact :class:`InstanceRecord` — the vertex map plus one shard-local
@@ -24,7 +32,7 @@ need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import counting as _counting
 from repro.core import enumeration as _enumeration
@@ -32,8 +40,10 @@ from repro.core import topk as _topk
 from repro.core.instance import MotifInstance
 from repro.core.matching import iter_structural_matches
 from repro.core.motif import Motif
+from repro.graph.columnar import ColumnStore
 from repro.graph.events import Node
-from repro.parallel.partition import TimeShard
+from repro.graph.timeseries import TimeSeriesGraph
+from repro.parallel.partition import TimeShard, materialize_shard
 from repro.utils.timing import Timer
 
 #: Compact shard-local form of one instance: the vertex map plus one
@@ -231,13 +241,57 @@ def batch_search_shard(
     return outputs
 
 
+#: Per-process cache of attached shared-memory stores and their graph
+#: views, keyed by shm name. Pool workers handle several shard tasks per
+#: query; attaching and rebuilding the (zero-copy) graph view once per
+#: store amortizes the only non-trivial setup cost of the columnar path.
+_ATTACHED: Dict[str, Tuple[ColumnStore, TimeSeriesGraph]] = {}
+
+
+def _attached_graph(shm_name: str) -> TimeSeriesGraph:
+    """The columnar graph view of one shared store (cached per process)."""
+    entry = _ATTACHED.get(shm_name)
+    if entry is None:
+        store = ColumnStore.attach(shm_name)
+        entry = (store, store.to_graph())
+        _ATTACHED[shm_name] = entry
+    return entry[1]
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (test hygiene; workers never need it
+    — process exit releases the mappings)."""
+    while _ATTACHED:
+        _, (store, graph) = _ATTACHED.popitem()
+        # Free the graph's series views before closing: they hold
+        # memoryviews over the store's buffers, and a mapping with live
+        # exports cannot be closed.
+        del graph
+        try:
+            store.close()
+        except BufferError:  # a shard slice outlives us; OS cleans up
+            pass
+
+
 def run_shard_task(task: Tuple) -> object:
     """Trampoline for executor dispatch: ``(kind, args...) -> output``.
 
     A single top-level entry point keeps pool submission uniform across
     the search/count/top-k/batch worker kinds.
+
+    The ``"columnar"`` kind is the zero-copy process-backend envelope:
+    ``("columnar", shm_name, shard_bounds, inner_kind, args...)``. The
+    worker attaches the named shared-memory :class:`ColumnStore` (cached
+    per process), re-materializes the shard as memoryview slices of the
+    shared buffers, and runs the inner task — the payload that crossed
+    the process boundary is a name and five numbers instead of pickled
+    event lists.
     """
     kind, args = task[0], task[1:]
+    if kind == "columnar":
+        shm_name, bounds, inner_kind = args[0], args[1], args[2]
+        shard = materialize_shard(_attached_graph(shm_name), bounds)
+        return run_shard_task((inner_kind, shard) + tuple(args[3:]))
     if kind == "search":
         return search_shard(*args)
     if kind == "count":

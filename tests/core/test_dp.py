@@ -137,6 +137,44 @@ class TestBisectMethodEquivalence:
             bis = top_one_in_match(match, method="bisect", reconstruct=False)
             assert quad.flow == pytest.approx(bis.flow)
 
+    @pytest.mark.parametrize("seed", range(10))
+    def test_quadratic_vs_fused(self, seed):
+        """The two-pointer fused sweep evaluates Eq. 2 exactly — per
+        window (dense windows stress the crossing-pointer monotonicity)
+        and per match."""
+        g = random_graph(seed, nodes=4, events=90, horizon=30)
+        motif = Motif.chain(3, delta=22, phi=0)
+        ts = g.to_time_series()
+        matches = find_structural_matches(ts, motif)
+        from repro.core.windows import iter_maximal_windows
+
+        for match in matches[:8]:
+            for window in iter_maximal_windows(
+                match.series[0], match.series[-1], 22
+            ):
+                quad = max_flow_in_window(
+                    match.series, window, method="quadratic"
+                )[0]
+                fused = max_flow_in_window(match.series, window, method="fused")[0]
+                assert fused == pytest.approx(quad)
+            quad_best = top_one_in_match(match, method="quadratic", reconstruct=False)
+            fused_best = top_one_in_match(match, method="fused", reconstruct=False)
+            assert fused_best.flow == pytest.approx(quad_best.flow)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fused_reconstruction_is_valid_and_achieves_flow(self, seed):
+        g = random_graph(seed, nodes=5, events=70, horizon=40)
+        motif = Motif.chain(3, delta=18, phi=0)
+        ts = g.to_time_series()
+        matches = find_structural_matches(ts, motif)
+        best = top_one_instance(matches, method="fused")
+        if best.instance is None:
+            assert best.flow == 0.0
+            return
+        assert best.instance.flow == pytest.approx(best.flow)
+        ok, reason = is_valid_instance(best.instance, ts, phi=0.0)
+        assert ok, reason
+
     def test_invalid_method_rejected(self, fig7_match):
         with pytest.raises(ValueError, match="method"):
             max_flow_in_window(fig7_match.series, Window(10, 20), method="magic")

@@ -1,0 +1,211 @@
+"""The columnar zero-copy store: view parity, shared-memory round trips.
+
+The contract under test is strong: a :class:`ColumnarEdgeSeries` view must
+be *indistinguishable* from the list-backed :class:`EdgeSeries` it
+flattened — same equality (both directions), same hash, same accessor
+values, same slicing behaviour — and a shared-memory export must
+round-trip the whole graph bit-exactly, including across a freshly
+``spawn``-ed process that shares nothing with the exporter but the block
+name.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.core.engine import FlowMotifEngine
+from repro.core.motif import Motif
+from repro.graph.columnar import ColumnarEdgeSeries, ColumnStore, columnarize
+from repro.graph.interaction import InteractionGraph
+from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+
+
+def _random_graph(seed: int, num_events: int = 80) -> InteractionGraph:
+    rng = random.Random(seed)
+    nodes = ["n%d" % i for i in range(6)] + [0, 1, 2]  # mixed str/int ids
+    graph = InteractionGraph()
+    for _ in range(num_events):
+        src, dst = rng.sample(nodes, 2)
+        time = float(rng.randrange(0, 50))  # integer grid: many ties
+        graph.add_interaction(src, dst, time, float(rng.randint(1, 9)))
+    return graph
+
+
+class TestViewParity:
+    def test_series_equal_and_hash_both_directions(self):
+        ts = _random_graph(0).to_time_series()
+        cg = columnarize(ts)
+        assert cg.num_series == ts.num_series
+        for series in ts.all_series():
+            view = cg.series(series.src, series.dst)
+            assert isinstance(view, ColumnarEdgeSeries)
+            assert view == series
+            assert series == view
+            assert hash(view) == hash(series)
+
+    def test_accessors_match(self):
+        ts = _random_graph(1).to_time_series()
+        cg = columnarize(ts)
+        for series in ts.all_series():
+            view = cg.series(series.src, series.dst)
+            assert len(view) == len(series)
+            assert list(view) == [(t, f) for t, f in series]
+            assert view.total_flow == pytest.approx(series.total_flow)
+            assert view.first_time == series.first_time
+            assert view.last_time == series.last_time
+            for idx in range(len(series)):
+                assert view.time(idx) == series.time(idx)
+                assert view.flow(idx) == series.flow(idx)
+                assert view.item(idx) == series.item(idx)
+            for t in (-1.0, 0.0, 10.0, 25.5, 100.0):
+                assert view.first_index_at_or_after(t) == series.first_index_at_or_after(t)
+                assert view.first_index_after(t) == series.first_index_after(t)
+                assert view.last_index_at_or_before(t) == series.last_index_at_or_before(t)
+                assert view.flow_in_interval(t, t + 7) == pytest.approx(
+                    series.flow_in_interval(t, t + 7)
+                )
+
+    def test_slicing_parity(self):
+        ts = _random_graph(2).to_time_series()
+        cg = columnarize(ts)
+        for series in ts.all_series():
+            if len(series) < 3:
+                continue
+            view = cg.series(series.src, series.dst)
+            lo, hi = 1, len(series) - 2
+            sliced_view = view.slice(lo, hi)
+            sliced_list = series.slice(lo, hi)
+            # zero-copy slices stay columnar and equal the copied slice
+            assert isinstance(sliced_view, ColumnarEdgeSeries)
+            assert sliced_view == sliced_list
+            assert hash(sliced_view) == hash(sliced_list)
+            assert sliced_view.total_flow == pytest.approx(sliced_list.total_flow)
+            assert sliced_view.flow_between(0, hi - lo) == pytest.approx(
+                sliced_list.flow_between(0, hi - lo)
+            )
+
+    def test_columnar_graph_search_parity(self):
+        graph = _random_graph(3)
+        ts = graph.to_time_series()
+        cg = columnarize(ts)
+        motif = Motif.chain(3, delta=12, phi=2)
+        reference = FlowMotifEngine(ts).find_instances(motif)
+        columnar = FlowMotifEngine(cg).find_instances(motif)
+        assert columnar.count == reference.count
+        assert [i.canonical_key() for i in columnar.instances] == [
+            i.canonical_key() for i in reference.instances
+        ]
+
+    def test_store_layout_invariants(self):
+        ts = _random_graph(4).to_time_series()
+        store = ColumnStore.from_graph(ts)
+        assert store.num_series == ts.num_series
+        assert store.num_events == ts.num_events
+        assert len(store.offsets) == store.num_series + 1
+        assert store.offsets[0] == 0
+        assert store.offsets[store.num_series] == store.num_events
+        assert len(store.cum) == store.num_events + store.num_series
+        for slot, (src, dst) in enumerate(store.pairs):
+            assert store.slot(src, dst) == slot
+        assert store.slot("nope", "nothere") is None
+
+    def test_rejects_unhashable_node_types(self):
+        series = EdgeSeries(("tuple", "node"), "b", [1.0], [2.0])
+        with pytest.raises(TypeError):
+            ColumnStore.from_graph(TimeSeriesGraph([series]))
+
+    def test_rejects_values_not_exact_in_float64(self):
+        series = EdgeSeries("a", "b", [2 ** 53 + 1], [2.0])
+        with pytest.raises(ValueError, match="float64"):
+            ColumnStore.from_graph(TimeSeriesGraph([series]))
+
+    def test_empty_graph_round_trips(self):
+        store = ColumnStore.from_graph(TimeSeriesGraph([]))
+        assert store.num_series == 0 and store.num_events == 0
+        shared = store.to_shared()
+        try:
+            attached = ColumnStore.attach(shared.shm_name)
+            assert attached.num_series == 0
+            attached.close()
+        finally:
+            shared.close(unlink=True)
+
+
+def _digest(graph: TimeSeriesGraph):
+    """A value-complete fingerprint of a graph's series contents."""
+    return [
+        (s.src, s.dst, list(s.times), list(s.flows), s.total_flow)
+        for s in graph.all_series()
+    ]
+
+
+def _attach_and_digest(name, queue):
+    """Spawn target: attach by name only, fingerprint, report back."""
+    store = ColumnStore.attach(name)
+    try:
+        queue.put(_digest(store.to_graph()))
+    finally:
+        # Views pin the mapping; let process exit reclaim it.
+        pass
+
+
+class TestSharedMemory:
+    def test_in_process_round_trip_bit_exact(self):
+        ts = _random_graph(5).to_time_series()
+        store = ColumnStore.from_graph(ts)
+        shared = store.to_shared()
+        try:
+            attached = ColumnStore.attach(shared.shm_name)
+            assert _digest(attached.to_graph()) == _digest(ts)
+        finally:
+            shared.close(unlink=True)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_spawned_process_round_trip_bit_exact(self, seed):
+        """Property: attach() in a spawned process reproduces the graph
+        bit-exactly — the zero-copy fan-out's correctness foundation."""
+        ts = _random_graph(seed).to_time_series()
+        shared = ColumnStore.from_graph(ts).to_shared()
+        try:
+            ctx = multiprocessing.get_context("spawn")
+            queue = ctx.Queue()
+            proc = ctx.Process(
+                target=_attach_and_digest, args=(shared.shm_name, queue)
+            )
+            proc.start()
+            remote = queue.get(timeout=60)
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+            assert remote == _digest(ts)
+        finally:
+            shared.close(unlink=True)
+
+    def test_attach_missing_block_raises(self):
+        with pytest.raises((FileNotFoundError, OSError)):
+            ColumnStore.attach("flow_motifs_no_such_block")
+
+    def test_close_is_idempotent_and_unlinks(self):
+        ts = _random_graph(6).to_time_series()
+        shared = ColumnStore.from_graph(ts).to_shared()
+        name = shared.shm_name
+        shared.close(unlink=True)
+        shared.close(unlink=True)  # second close is a no-op
+        with pytest.raises((FileNotFoundError, OSError)):
+            ColumnStore.attach(name)
+
+    def test_plain_close_keeps_block_for_other_attachments(self):
+        """close() without unlink drops only the local mapping — the
+        exporter's crash-recovery story and the attach-side contract."""
+        ts = _random_graph(7).to_time_series()
+        shared = ColumnStore.from_graph(ts).to_shared()
+        name = shared.shm_name
+        shared.close()  # no unlink: the block must survive
+        try:
+            attached = ColumnStore.attach(name)
+            assert attached.num_events == ts.num_events
+            attached.close()
+        finally:
+            ColumnStore.attach(name).close(unlink=True)
