@@ -1,0 +1,197 @@
+"""Streaming poll latency — incremental maintenance vs rebuild-on-poll.
+
+Quantifies the ISSUE 5 tentpole and writes it to ``BENCH_streaming.json``:
+the same time-ordered stream is replayed through
+:class:`repro.core.streaming.StreamingDetector` in both modes, polling
+every ``batch`` events. ``mode="rebuild"`` (the legacy design) pays
+O(|E| + matches) on the first poll after any add — so small batches, the
+whole point of online detection, are quadratic over the stream.
+``mode="incremental"`` grows the graph in place, extends matches only
+through newly connected pairs, and pops only matches with closed windows.
+
+Both replays must emit the identical instance multiset (asserted), and
+``rebuild_count`` must stay 0 in incremental mode. Acceptance: ≥ 3×
+poll-latency improvement at the smallest batch size.
+
+Run directly to print the table and regenerate the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_streaming_incremental.py [--quick] [--out BENCH_streaming.json]
+
+or through pytest for the regression assertions (the CI smoke step)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_streaming_incremental.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from collections import Counter
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.motif import Motif
+from repro.core.streaming import StreamingDetector
+
+BATCH_SIZES = (1, 16, 128)
+
+
+def _stream(num_events: int, nodes: int, horizon: float, seed: int = 3):
+    """Dense time-ordered stream (integer grid: tied timestamps occur)."""
+    rng = random.Random(seed)
+    stream: List[Tuple[int, int, float, float]] = []
+    for _ in range(num_events):
+        u, v = rng.sample(range(nodes), 2)
+        stream.append(
+            (u, v, float(rng.randrange(0, int(horizon))), float(rng.randint(1, 9)))
+        )
+    stream.sort(key=lambda e: e[2])
+    return stream
+
+
+def _replay(stream, motif: Motif, mode: str, batch: int) -> dict:
+    detector = StreamingDetector(motif, mode=mode)
+    emitted: Counter = Counter()
+    add_seconds = 0.0
+    poll_seconds = 0.0
+    polls = 0
+    worst_poll = 0.0
+    for i, (src, dst, t, f) in enumerate(stream):
+        start = time.perf_counter()
+        detector.add(src, dst, t, f)
+        add_seconds += time.perf_counter() - start
+        if (i + 1) % batch == 0:
+            start = time.perf_counter()
+            out = detector.poll()
+            elapsed = time.perf_counter() - start
+            poll_seconds += elapsed
+            worst_poll = max(worst_poll, elapsed)
+            polls += 1
+            emitted.update(inst.canonical_key() for inst in out)
+    start = time.perf_counter()
+    emitted.update(inst.canonical_key() for inst in detector.flush())
+    flush_seconds = time.perf_counter() - start
+    assert max(emitted.values(), default=1) == 1, "duplicate emission"
+    return {
+        "mode": mode,
+        "batch": batch,
+        "polls": polls,
+        "add_seconds": add_seconds,
+        "poll_seconds": poll_seconds,
+        "flush_seconds": flush_seconds,
+        "mean_poll_ms": 1e3 * poll_seconds / max(polls, 1),
+        "worst_poll_ms": 1e3 * worst_poll,
+        "rebuilds": detector.rebuild_count,
+        "instances": sum(emitted.values()),
+        "emitted": emitted,
+    }
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    num_events = 600 if quick else 2200
+    horizon = num_events * 0.08
+    motif = Motif.chain(3, delta=10.0, phi=2.0)
+    stream = _stream(num_events, nodes=10, horizon=horizon)
+    rows = []
+    by_batch: dict = {}
+    for batch in BATCH_SIZES:
+        pair = {}
+        for mode in ("incremental", "rebuild"):
+            row = _replay(stream, motif, mode, batch)
+            pair[mode] = row
+            rows.append(row)
+        assert (
+            pair["incremental"]["emitted"] == pair["rebuild"]["emitted"]
+        ), f"mode emissions diverge at batch={batch}"
+        assert pair["incremental"]["rebuilds"] == 0
+        by_batch[batch] = (
+            pair["rebuild"]["poll_seconds"]
+            / max(pair["incremental"]["poll_seconds"], 1e-12)
+        )
+    for row in rows:
+        row.pop("emitted")  # not JSON material
+    return {
+        "benchmark": "bench_streaming_incremental",
+        "quick": quick,
+        "num_events": num_events,
+        "motif": motif.display_name,
+        "delta": motif.delta,
+        "phi": motif.phi,
+        "batch_sizes": list(BATCH_SIZES),
+        "rows": rows,
+        "poll_speedup_by_batch": {str(b): s for b, s in by_batch.items()},
+        "speedup_smallest_batch": by_batch[min(BATCH_SIZES)],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (regression assertions; CI runs these via --quick)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_benchmark(quick=True)
+
+
+def test_incremental_at_least_3x_at_small_batches(report):
+    """The ISSUE 5 acceptance bar: ≥ 3× poll latency at small batches."""
+    speedup = report["speedup_smallest_batch"]
+    assert speedup >= 3.0, f"incremental only {speedup:.2f}x at batch=1"
+
+
+def test_no_rebuilds_in_incremental_mode(report):
+    for row in report["rows"]:
+        if row["mode"] == "incremental":
+            assert row["rebuilds"] == 0
+
+
+def test_modes_agree(report):
+    # run_benchmark asserts emission equality internally; reaching here
+    # means both modes emitted the identical instance multiset at every
+    # batch size.
+    assert all(row["instances"] > 0 for row in report["rows"])
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced workload (seconds, used by the CI smoke step)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the report JSON to this path",
+    )
+    args = parser.parse_args()
+    report_dict = run_benchmark(quick=args.quick)
+
+    print(
+        f"stream: {report_dict['num_events']} events, "
+        f"{report_dict['motif']} delta={report_dict['delta']:g} "
+        f"phi={report_dict['phi']:g}"
+    )
+    print(f"{'mode':12s} {'batch':>6s} {'polls':>6s} {'poll total':>11s} "
+          f"{'mean':>9s} {'worst':>9s} {'rebuilds':>8s} {'instances':>9s}")
+    for row in report_dict["rows"]:
+        print(
+            f"{row['mode']:12s} {row['batch']:6d} {row['polls']:6d} "
+            f"{row['poll_seconds']:10.3f}s {row['mean_poll_ms']:7.2f}ms "
+            f"{row['worst_poll_ms']:7.2f}ms {row['rebuilds']:8d} "
+            f"{row['instances']:9d}"
+        )
+    for batch, speedup in report_dict["poll_speedup_by_batch"].items():
+        print(f"  batch {batch:>4s}: incremental {speedup:.1f}x faster polls")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report_dict, fh, indent=2)
+            fh.write("\n")
+        print(f"[saved {args.out}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -44,7 +44,14 @@ def main() -> None:
                 )
     alerts.extend(detector.flush())
 
+    stats = detector.stats()
     print(f"\ntotal alerts: {len(alerts)}")
+    print(
+        f"detector stats: {stats['events']} events over {stats['pairs']} "
+        f"pairs, {stats['matches']} structural matches maintained "
+        f"incrementally, {stats['rebuilds']} rebuilds"
+    )
+    assert detector.rebuild_count == 0  # the incremental contract
 
     # Exactly-once / completeness check against the offline engine.
     offline = FlowMotifEngine(

@@ -31,8 +31,10 @@ Public API
 * :mod:`repro.significance` — flow-permutation randomization and z-scores.
 * :mod:`repro.baselines` — the join-algorithm baseline and a flow-agnostic
   temporal-motif counter.
-* :class:`StreamingDetector` — exactly-once online detection
-  (:mod:`repro.core.streaming`).
+* :class:`StreamingDetector` — exactly-once online detection with fully
+  incremental per-edge maintenance (:mod:`repro.core.streaming`,
+  :mod:`repro.core.incremental`); grows a
+  :class:`GrowableTimeSeriesGraph` in place, never rebuilds.
 * :class:`GeneralMotif` — DAG motifs with forks/joins (:mod:`repro.core.dag`).
 * :mod:`repro.analysis` — per-match activity grouping and timelines.
 * :class:`ParallelFlowMotifEngine`, :class:`BatchRunner` — δ-overlap
@@ -45,14 +47,24 @@ Public API
 
 from repro.core.dag import GeneralMotif, find_dag_instances
 from repro.core.engine import FlowMotifEngine, SearchResult
+from repro.core.incremental import IncrementalMatcher
 from repro.core.streaming import StreamingDetector
 from repro.core.instance import MotifInstance, Run, is_maximal, is_valid_instance
 from repro.core.matching import StructuralMatch, find_structural_matches
 from repro.core.motif import Motif, PAPER_MOTIF_PATHS, paper_motifs
-from repro.graph.columnar import ColumnarEdgeSeries, ColumnStore, columnarize
+from repro.graph.columnar import (
+    ColumnarEdgeSeries,
+    ColumnStore,
+    GrowableColumnStore,
+    columnarize,
+)
 from repro.graph.events import Interaction
 from repro.graph.interaction import InteractionGraph
-from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+from repro.graph.timeseries import (
+    EdgeSeries,
+    GrowableTimeSeriesGraph,
+    TimeSeriesGraph,
+)
 from repro.parallel import (
     BatchRunner,
     MotifConfig,
@@ -73,6 +85,7 @@ __all__ = [
     "GeneralMotif",
     "find_dag_instances",
     "StreamingDetector",
+    "IncrementalMatcher",
     "SearchResult",
     "MotifInstance",
     "Run",
@@ -87,8 +100,10 @@ __all__ = [
     "InteractionGraph",
     "EdgeSeries",
     "TimeSeriesGraph",
+    "GrowableTimeSeriesGraph",
     "ColumnStore",
     "ColumnarEdgeSeries",
+    "GrowableColumnStore",
     "columnarize",
     "__version__",
 ]

@@ -14,6 +14,12 @@ Large edge lists can be searched in parallel over δ-overlap time shards
 (``.csv.gz`` inputs are decompressed transparently)::
 
     flow-motifs find edges.csv.gz --motif "M(3,2)" --delta 600 --jobs 4
+
+Or watch a live, time-ordered stream with the incremental online detector
+(instances print as JSON lines the moment their window closes)::
+
+    flow-motifs stream live.csv --follow --motif "M(3,3)" --delta 600 --phi 5
+    tail -F live.csv | flow-motifs stream - --motif "M(3,2)" --delta 600
 """
 
 from __future__ import annotations
@@ -137,6 +143,115 @@ def _cmd_find(args: argparse.Namespace) -> int:
     return 0
 
 
+class _FollowLines:
+    """Line source that keeps polling a file for appended rows (tail -F).
+
+    Yields complete lines; partial trailing writes are buffered until the
+    newline arrives. Stops after ``max_idle`` seconds without new data
+    (None = follow forever). Duck-types the ``read`` attribute
+    :func:`repro.graph.io._open_maybe` checks, so it plugs straight into
+    :func:`repro.graph.io.iter_csv_interactions`.
+    """
+
+    def __init__(self, path, interval: float, max_idle: Optional[float]):
+        self._path = path
+        self._interval = max(interval, 0.01)
+        self._max_idle = max_idle
+
+    def read(self, *_args):  # pragma: no cover - iteration-only source
+        raise NotImplementedError("_FollowLines is an iteration-only source")
+
+    def __iter__(self):
+        import time as _time
+
+        buffer = ""
+        idle = 0.0
+        with open(self._path, "r", encoding="utf-8") as handle:
+            while True:
+                chunk = handle.readline()
+                if chunk:
+                    idle = 0.0
+                    buffer += chunk
+                    if buffer.endswith("\n"):
+                        yield buffer
+                        buffer = ""
+                    continue
+                if self._max_idle is not None and idle >= self._max_idle:
+                    if buffer:
+                        yield buffer
+                    return
+                _time.sleep(self._interval)
+                idle += self._interval
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.core.streaming import StreamingDetector
+
+    try:
+        motif = Motif.from_string(args.motif, args.delta, args.phi)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.follow and args.edges == "-":
+        print("error: --follow requires a file path, not stdin", file=sys.stderr)
+        return 2
+    if args.follow:
+        source = _FollowLines(args.edges, args.interval, args.max_idle)
+    elif args.edges == "-":
+        source = sys.stdin
+    else:
+        source = args.edges
+
+    detector = StreamingDetector(motif, mode=args.mode)
+    emitted = 0
+    events = 0
+    pending = 0
+
+    def drain(batch) -> None:
+        nonlocal emitted
+        for instance in batch:
+            print(json.dumps(instance.as_dict()), flush=True)
+            emitted += 1
+
+    try:
+        for it in graph_io.iter_csv_interactions(source, on_error=args.on_error):
+            try:
+                detector.add(it.src, it.dst, it.time, it.flow)
+            except ValueError as exc:
+                if args.on_error == "skip":
+                    continue  # e.g. out-of-order rows in a best-effort tail
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            events += 1
+            pending += 1
+            if pending >= args.batch:
+                drain(detector.poll())
+                pending = 0
+        drain(detector.flush())
+    except graph_io.InteractionFormatError as exc:
+        # Malformed rows surface from the iterator itself (with
+        # --on-error raise); report them like every other stream error.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        drain(detector.flush())
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `... | head`) closed the pipe: stop
+        # cleanly. Redirect stdout to devnull so interpreter shutdown
+        # does not trip over the dead descriptor again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    print(
+        f"[stream] {events} events, {emitted} instances emitted, "
+        f"{detector.match_count} structural matches, "
+        f"{detector.rebuild_count} rebuilds",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="flow-motifs",
@@ -199,6 +314,50 @@ def build_parser() -> argparse.ArgumentParser:
             "process backend (workers then receive pickled shard slices)"
         ),
     )
+
+    stream_parser = sub.add_parser(
+        "stream",
+        help="online detection over a live, time-ordered edge stream",
+    )
+    stream_parser.add_argument(
+        "edges", help="CSV/TSV stream: src,dst,time,flow ('-' for stdin)"
+    )
+    stream_parser.add_argument(
+        "--motif", default="M(3,3)",
+        help="catalog name or dashed path, e.g. M(3,3) or 0-1-2-0",
+    )
+    stream_parser.add_argument("--delta", type=float, required=True)
+    stream_parser.add_argument("--phi", type=float, default=0.0)
+    stream_parser.add_argument(
+        "--batch", type=int, default=1,
+        help="events ingested between polls (default 1: emit ASAP)",
+    )
+    stream_parser.add_argument(
+        "--follow", action="store_true",
+        help="keep watching the file for appended rows (tail -F style)",
+    )
+    stream_parser.add_argument(
+        "--interval", type=float, default=0.5,
+        help="--follow poll interval in seconds (default 0.5)",
+    )
+    stream_parser.add_argument(
+        "--max-idle", type=float, default=None, dest="max_idle",
+        help=(
+            "in --follow mode, stop after this many seconds without new "
+            "rows and flush (default: follow forever)"
+        ),
+    )
+    stream_parser.add_argument(
+        "--on-error", choices=["raise", "skip"], default="raise",
+        help=(
+            "behaviour on malformed input rows; 'skip' also drops "
+            "out-of-order rows instead of aborting"
+        ),
+    )
+    stream_parser.add_argument(
+        "--mode", choices=["incremental", "rebuild"], default="incremental",
+        help="detector implementation (rebuild is the legacy baseline)",
+    )
     return parser
 
 
@@ -206,6 +365,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "find":
         return _cmd_find(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     if args.command == "all":
         return _run_experiments(args, list(EXPERIMENTS))
     return _run_experiments(args, [args.command])

@@ -3,19 +3,19 @@
 The paper motivates flow motifs with Financial Intelligence Units watching
 for suspicious transaction patterns — an inherently *online* task: alerts
 should fire as soon as a pattern completes, not in a nightly batch. This
-module provides a streaming wrapper around the offline machinery with an
-exactly-once guarantee:
+module provides a streaming detector with an exactly-once guarantee:
 
 * interactions are fed in non-decreasing time order (:meth:`~StreamingDetector.add`);
 * :meth:`~StreamingDetector.poll` emits every maximal instance whose
   δ-window has *closed* (window end strictly below the current watermark),
   each exactly once;
 * :meth:`~StreamingDetector.flush` closes all remaining windows at end of
-  stream.
+  stream (after which the stream cannot be extended).
 
 The union of all emissions equals the offline
 :func:`repro.core.enumeration.find_instances` output on the full stream
-(property-tested). Correctness rests on two facts about Algorithm 1:
+(property-tested in ``tests/property/test_streaming_oracle.py``).
+Correctness rests on two facts about Algorithm 1:
 
 1. an instance anchored at window ``[a, a + δ]`` uses only events with
    timestamp ≤ ``a + δ``, so it is fully determined once the watermark
@@ -26,25 +26,40 @@ The union of all emissions equals the offline
    are therefore finalizable in anchor order, tracking the last processed
    anchor and its last-edge frontier per structural match.
 
-Complexity: a poll that follows new interactions rebuilds the time-series
-view and structural matches of the grown graph (``O(|E| + matches)``);
-polls (and flushes) *without* intervening adds reuse the cached view and
-match list and cost only the per-match window scan. ``rebuild_count``
-exposes how many rebuilds actually happened (regression-tested). A fully
-incremental matcher is a natural follow-up.
+Complexity. The default ``mode="incremental"`` maintains everything
+per appended edge (see :mod:`repro.core.incremental`): the growable
+time-series graph gains the event in O(1) amortized, structural matches
+are extended only through newly connected pairs, and polls pop exactly
+the matches whose next window deadline has passed — never the whole match
+set, and never a rebuilt graph. ``rebuild_count`` is the contract: it
+stays **0** for the detector's whole lifetime after construction
+(regression-tested; ``benchmarks/bench_streaming_incremental.py``
+quantifies the win). ``mode="rebuild"`` keeps the legacy behaviour —
+rebuild the view and the match list on the first poll after any add — as
+the ablation/benchmark baseline; both modes share the per-match window
+sweep, so their emissions are identical by construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.core.enumeration import enumerate_window_ranges, match_is_feasible
-from repro.core.instance import MotifInstance, Run
+from repro.core.enumeration import match_is_feasible
+from repro.core.incremental import (
+    IncrementalMatcher,
+    MatchProgress,
+    match_key,
+    sweep_closed_windows,
+)
+from repro.core.instance import MotifInstance
 from repro.core.matching import iter_structural_matches
 from repro.core.motif import Motif
-from repro.core.windows import Window
 from repro.graph.events import Interaction, Node
-from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+from repro.graph.timeseries import (
+    EdgeSeries,
+    GrowableTimeSeriesGraph,
+    TimeSeriesGraph,
+)
 
 
 class StreamingDetector:
@@ -56,6 +71,10 @@ class StreamingDetector:
         The flow motif (δ and φ are taken from it unless overridden).
     delta, phi:
         Optional constraint overrides.
+    mode:
+        ``"incremental"`` (default) — per-edge maintenance, no rebuilds.
+        ``"rebuild"`` — the legacy rebuild-on-poll baseline, kept for
+        ablation and the streaming benchmark.
 
     Example
     -------
@@ -68,6 +87,8 @@ class StreamingDetector:
     >>> detector.add("x", "y", time=50, flow=1)
     >>> [round(i.flow, 1) for i in detector.poll()]
     [4.0]
+    >>> detector.rebuild_count
+    0
     """
 
     def __init__(
@@ -75,21 +96,41 @@ class StreamingDetector:
         motif: Motif,
         delta: Optional[float] = None,
         phi: Optional[float] = None,
+        mode: str = "incremental",
     ) -> None:
+        if mode not in ("incremental", "rebuild"):
+            raise ValueError(
+                f"mode must be 'incremental' or 'rebuild', got {mode!r}"
+            )
         self.motif = motif
         self.delta = motif.delta if delta is None else delta
         self.phi = motif.phi if phi is None else phi
-        self._times: Dict[Tuple[Node, Node], List[float]] = {}
-        self._flows: Dict[Tuple[Node, Node], List[float]] = {}
+        self.mode = mode
+        self._graph = GrowableTimeSeriesGraph()
         self._watermark = float("-inf")
-        self._dirty = True
-        self._ts: Optional[TimeSeriesGraph] = None
-        self._matches: Optional[List] = None
         self._rebuild_count = 0
-        # Per structural match (by vertex map): (last processed anchor,
-        # last-edge frontier Λ of the previously processed window).
-        self._progress: Dict[Tuple[Node, ...], Tuple[float, Optional[float]]] = {}
         self._emitted = 0
+        self._flushed = False
+        # Emissions land here before a poll/flush returns them: if an
+        # exception (e.g. KeyboardInterrupt in a live CLI session) aborts
+        # a poll mid-sweep, the already-finalized instances survive and
+        # come out of the next poll()/flush() instead of being lost —
+        # the progress cursors have already moved past their windows.
+        self._out_buffer: List[MotifInstance] = []
+        self._matcher: Optional[IncrementalMatcher] = None
+        if mode == "incremental":
+            self._matcher = IncrementalMatcher(
+                self._graph, motif, self.delta, self.phi
+            )
+        else:
+            # Legacy rebuild-on-poll state: the cached view + match list
+            # (invalidated by any add) and per-match progress, keyed by
+            # the *full* edge mapping — the vertex map alone could make
+            # distinct matches share skip-rule state (see match_key).
+            self._dirty = True
+            self._ts: Optional[TimeSeriesGraph] = None
+            self._matches: Optional[List] = None
+            self._progress: Dict[tuple, MatchProgress] = {}
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -97,6 +138,11 @@ class StreamingDetector:
 
     def add(self, src: Node, dst: Node, time: float, flow: float) -> None:
         """Ingest one interaction; timestamps must be non-decreasing."""
+        if self._flushed:
+            raise ValueError(
+                "stream already flushed; flush() finalizes every window, "
+                "so further adds would violate the exactly-once guarantee"
+            )
         interaction = Interaction(src, dst, time, flow).validate()
         if interaction.time < self._watermark:
             raise ValueError(
@@ -105,10 +151,11 @@ class StreamingDetector:
                 f"time-ordered"
             )
         self._watermark = interaction.time
-        key = (src, dst)
-        self._times.setdefault(key, []).append(interaction.time)
-        self._flows.setdefault(key, []).append(interaction.flow)
-        self._dirty = True
+        if self._matcher is not None:
+            self._matcher.add(src, dst, interaction.time, interaction.flow)
+        else:
+            self._graph.append(src, dst, interaction.time, interaction.flow)
+            self._dirty = True
 
     @property
     def watermark(self) -> float:
@@ -122,110 +169,96 @@ class StreamingDetector:
 
     @property
     def rebuild_count(self) -> int:
-        """How many times the time-series view was actually rebuilt.
+        """How many times the time-series view was rebuilt from scratch.
 
-        Polls without intervening :meth:`add` calls reuse the cached view
-        and structural matches, leaving this counter unchanged.
+        The incremental mode's contract is that this stays **0** for the
+        detector's whole lifetime: the graph grows in place and matches
+        are discovered per new pair. In ``mode="rebuild"`` it counts the
+        legacy rebuild-on-first-poll-after-add events.
         """
         return self._rebuild_count
+
+    @property
+    def match_count(self) -> int:
+        """Structural matches currently known to the detector."""
+        if self._matcher is not None:
+            return self._matcher.match_count
+        return len(self._matches) if self._matches is not None else 0
+
+    @property
+    def num_events(self) -> int:
+        """Total interactions ingested."""
+        return self._graph.num_events
+
+    def stats(self) -> dict:
+        """Operational counters (useful for monitoring dashboards)."""
+        base = {
+            "mode": self.mode,
+            "events": self._graph.num_events,
+            "pairs": self._graph.num_series,
+            "matches": self.match_count,
+            "emitted": self._emitted,
+            "rebuilds": self._rebuild_count,
+        }
+        if self._matcher is not None:
+            base["scheduled_matches"] = self._matcher.scheduled_count
+            base["feasibility_checks"] = self._matcher.feasibility_checks
+        return base
 
     # ------------------------------------------------------------------
     # Emission
     # ------------------------------------------------------------------
 
-    def _rebuild(self) -> TimeSeriesGraph:
+    def _emit_for_horizon_rebuild(self, horizon: float, sink) -> None:
         if self._dirty or self._ts is None:
+            # Legacy behaviour: rebuild the whole view and re-enumerate
+            # all structural matches — O(|E| + matches) per dirty poll.
             self._ts = TimeSeriesGraph(
-                EdgeSeries(src, dst, self._times[(src, dst)], self._flows[(src, dst)])
-                for (src, dst) in self._times
+                EdgeSeries(s.src, s.dst, list(s.times), list(s.flows))
+                for s in self._graph.all_series()
             )
-            self._matches = None  # match list follows the view's lifetime
-            self._rebuild_count += 1
-            self._dirty = False
-        return self._ts
-
-    def _structural_matches(self) -> List:
-        """Structural matches of the current view, cached between polls."""
-        graph = self._rebuild()
-        if self._matches is None:
             self._matches = list(
                 iter_structural_matches(
-                    graph, self.motif, phi=self.phi, temporal_pruning=True
+                    self._ts, self.motif, phi=self.phi, temporal_pruning=True
                 )
             )
-        return self._matches
-
-    def _closed_windows(
-        self, first: EdgeSeries, last: EdgeSeries, horizon: float, key: Tuple
-    ) -> List[Window]:
-        """Window positions finalizable for one match, in anchor order.
-
-        Mirrors :func:`repro.core.windows.iter_maximal_windows` but resumes
-        from the per-match progress state and stops at windows whose end
-        has not yet passed the horizon (watermark or flush point).
-        """
-        last_anchor, prev_lam = self._progress.get(key, (float("-inf"), None))
-        windows = []
-        previous_time = None
-        for anchor in first.times:
-            if anchor == previous_time:
+            self._rebuild_count += 1
+            self._dirty = False
+        for match in self._matches:
+            if not match_is_feasible(match.series, self.phi):
                 continue
-            previous_time = anchor
-            if anchor <= last_anchor:
-                continue
-            end = anchor + self.delta
-            if end >= horizon:
-                break  # later events could still land inside this window
-            j = last.last_index_at_or_before(end)
-            if j < 0:
-                last_anchor = anchor
-                continue
-            lam = last.times[j]
-            if lam < anchor:
-                last_anchor = anchor
-                continue
-            if prev_lam is not None and lam <= prev_lam:
-                last_anchor = anchor
-                continue  # the paper's skip rule
-            prev_lam = lam
-            last_anchor = anchor
-            windows.append(Window(anchor, end))
-        self._progress[key] = (last_anchor, prev_lam)
-        return windows
+            key = match_key(match)
+            progress = self._progress.get(key)
+            if progress is None:
+                progress = self._progress[key] = MatchProgress()
+            sweep_closed_windows(
+                match, progress, horizon, self.delta, self.phi, sink
+            )
 
     def _emit_for_horizon(self, horizon: float) -> List[MotifInstance]:
-        instances: List[MotifInstance] = []
-        for match in self._structural_matches():
-            series_list = match.series
-            if not match_is_feasible(series_list, self.phi):
-                continue
-            key = match.vertex_map
-            windows = self._closed_windows(
-                series_list[0], series_list[-1], horizon, key
-            )
-            for window in windows:
-                def emit(ranges, _match=match, _series=series_list):
-                    runs = tuple(
-                        Run(_series[i], lo, hi)
-                        for i, (lo, hi) in enumerate(ranges)
-                    )
-                    instances.append(
-                        MotifInstance(self.motif, _match.vertex_map, runs)
-                    )
-
-                enumerate_window_ranges(series_list, window, self.phi, emit)
+        buffer = self._out_buffer
+        if self._graph.num_events > 0:
+            if self._matcher is not None:
+                self._matcher.emit_closed(horizon, buffer.append)
+            else:
+                self._emit_for_horizon_rebuild(horizon, buffer.append)
+        instances = list(buffer)
+        buffer.clear()
         self._emitted += len(instances)
         return instances
 
     def poll(self) -> List[MotifInstance]:
         """Emit instances whose windows closed strictly before the
         watermark. Call after a batch of :meth:`add` calls."""
-        if not self._times:
-            return []
         return self._emit_for_horizon(self._watermark)
 
     def flush(self) -> List[MotifInstance]:
-        """End of stream: close and emit every remaining window."""
-        if not self._times:
-            return []
-        return self._emit_for_horizon(float("inf"))
+        """End of stream: close and emit every remaining window.
+
+        Finalizes windows whose end lies beyond the watermark, so the
+        stream is over — subsequent :meth:`add` calls raise. Calling
+        flush (or poll) again is a harmless no-op.
+        """
+        result = self._emit_for_horizon(float("inf"))
+        self._flushed = True
+        return result

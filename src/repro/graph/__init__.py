@@ -14,17 +14,28 @@ interaction time series ``R(u, v)`` (Figure 5 of the paper).
   series with zero-copy views and shared-memory export/attach.
 """
 
-from repro.graph.columnar import ColumnarEdgeSeries, ColumnStore, columnarize
+from repro.graph.columnar import (
+    ColumnarEdgeSeries,
+    ColumnStore,
+    GrowableColumnStore,
+    columnarize,
+)
 from repro.graph.events import Interaction
 from repro.graph.interaction import InteractionGraph
-from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+from repro.graph.timeseries import (
+    EdgeSeries,
+    GrowableTimeSeriesGraph,
+    TimeSeriesGraph,
+)
 
 __all__ = [
     "Interaction",
     "InteractionGraph",
     "EdgeSeries",
     "TimeSeriesGraph",
+    "GrowableTimeSeriesGraph",
     "ColumnStore",
     "ColumnarEdgeSeries",
+    "GrowableColumnStore",
     "columnarize",
 ]

@@ -46,6 +46,7 @@ from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
 __all__ = [
     "ColumnarEdgeSeries",
     "ColumnStore",
+    "GrowableColumnStore",
     "columnarize",
     "supports_columnar",
 ]
@@ -98,6 +99,19 @@ class ColumnarEdgeSeries(EdgeSeries):
             self.flows[lo : hi + 1],
             self._cum[lo : hi + 2],
             self.slot,
+        )
+
+    def append(self, time: float, flow: float) -> None:
+        """Columnar views are immutable snapshots — appending is an error.
+
+        Streams should grow a list-backed :class:`EdgeSeries` (see
+        :meth:`EdgeSeries.append`) or a :class:`GrowableColumnStore` and
+        snapshot into flat columns when a batch completes.
+        """
+        raise TypeError(
+            f"cannot append to the zero-copy columnar view "
+            f"{self.src!r}->{self.dst!r}; grow a list-backed EdgeSeries or "
+            "a GrowableColumnStore instead"
         )
 
 
@@ -493,6 +507,166 @@ def _open_shared_memory(name: str):
     finally:
         os.close(fd)
     return _AttachedBlock(name, mm)
+
+
+class GrowableColumnStore:
+    """Append-friendly typed ingestion buffer for streaming workloads.
+
+    :class:`ColumnStore` is frozen by design — its series-concatenated
+    layout cannot absorb a new event in the middle of the ``times`` column
+    without shifting everything behind it. This variant keeps the columns
+    in **arrival order** (``times``/``flows`` plus an int64 pair-slot
+    column), so :meth:`append` is O(1) amortized with the same compact
+    typed-array footprint, and :meth:`snapshot` produces a frozen
+    :class:`ColumnStore` in one O(|E|) stable counting pass when a batch
+    completes (per-pair arrival order is enforced non-decreasing at
+    append time, exactly like
+    :meth:`~repro.graph.timeseries.GrowableTimeSeriesGraph.append`, so
+    the snapshot never sorts).
+
+    Typical cycle: feed a micro-batch, ``snapshot().to_shared()`` for the
+    parallel workers, keep appending.
+    """
+
+    def __init__(self) -> None:
+        self._times = array("d")
+        self._flows = array("d")
+        self._slots = array("q")
+        self._pairs: List[Tuple[Node, Node]] = []
+        self._slot_by_pair: Dict[Tuple[Node, Node], int] = {}
+        self._tail_time = array("d")  # last timestamp per pair slot
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+
+    def append(self, src: Node, dst: Node, time: float, flow: float) -> bool:
+        """Ingest one interaction; returns True when ``(src, dst)`` is new.
+
+        Validates what :meth:`ColumnStore.from_graph` would: int/str node
+        ids, float64-lossless values, positive flow, and per-pair
+        non-decreasing timestamps.
+        """
+        if not _lossless_float64(time):
+            raise ValueError(
+                f"timestamp {time!r} on {src}->{dst} is not exactly "
+                "representable as float64"
+            )
+        if not _lossless_float64(flow):
+            raise ValueError(
+                f"flow {flow!r} on {src}->{dst} is not exactly "
+                "representable as float64"
+            )
+        if flow <= 0:
+            raise ValueError(
+                f"flows must be positive, got {flow!r} on {src}->{dst}"
+            )
+        key = (_check_node(src), _check_node(dst))
+        slot = self._slot_by_pair.get(key)
+        is_new = slot is None
+        if is_new:
+            slot = len(self._pairs)
+            self._slot_by_pair[key] = slot
+            self._pairs.append(key)
+            self._tail_time.append(time)
+        else:
+            if time < self._tail_time[slot]:
+                raise ValueError(
+                    f"append out of order on {src}->{dst}: t={time!r} "
+                    f"precedes the series tail t={self._tail_time[slot]!r}"
+                )
+            self._tail_time[slot] = time
+        self._times.append(time)
+        self._flows.append(flow)
+        self._slots.append(slot)
+        return is_new
+
+    def extend(self, interactions: Iterable) -> int:
+        """Append many ``(src, dst, time, flow)`` tuples; returns count."""
+        n = 0
+        for src, dst, time, flow in interactions:
+            self.append(src, dst, time, flow)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_events(self) -> int:
+        return len(self._times)
+
+    @property
+    def num_series(self) -> int:
+        return len(self._pairs)
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            self._times.itemsize * len(self._times)
+            + self._flows.itemsize * len(self._flows)
+            + self._slots.itemsize * len(self._slots)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GrowableColumnStore({self.num_series} series, "
+            f"{self.num_events} events, {self.nbytes} bytes)"
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ColumnStore:
+        """Freeze the current contents into a :class:`ColumnStore`.
+
+        One stable counting pass regroups the arrival-order columns into
+        the store's series-concatenated layout; per-pair time order was
+        enforced at append time, so no sorting happens. The snapshot is
+        independent of this buffer — appending afterwards never mutates
+        earlier snapshots.
+        """
+        num_series = len(self._pairs)
+        n = len(self._times)
+        counts = [0] * num_series
+        for slot in self._slots:
+            counts[slot] += 1
+        offsets = array("q", bytes(8 * (num_series + 1)))
+        for i, c in enumerate(counts):
+            offsets[i + 1] = offsets[i] + c
+        times = array("d", bytes(8 * n))
+        flows = array("d", bytes(8 * n))
+        position = list(offsets[:num_series])
+        src_times, src_flows, src_slots = self._times, self._flows, self._slots
+        for k in range(n):
+            slot = src_slots[k]
+            at = position[slot]
+            times[at] = src_times[k]
+            flows[at] = src_flows[k]
+            position[slot] = at + 1
+        cum = array("d", bytes(8 * (n + num_series)))
+        at = 0
+        for slot in range(num_series):
+            cum[at] = 0.0
+            running = 0.0
+            base = at + 1
+            for i in range(offsets[slot], offsets[slot + 1]):
+                running += flows[i]
+                cum[base + i - offsets[slot]] = running
+            at = base + counts[slot]
+        return ColumnStore(
+            list(self._pairs),
+            memoryview(times),
+            memoryview(flows),
+            memoryview(cum),
+            memoryview(offsets),
+        )
+
+    def to_graph(self) -> TimeSeriesGraph:
+        """Shorthand for ``snapshot().to_graph()``."""
+        return self.snapshot().to_graph()
 
 
 def columnarize(

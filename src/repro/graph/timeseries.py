@@ -199,6 +199,38 @@ class EdgeSeries:
             self.src, self.dst, self.times[lo : hi + 1], self.flows[lo : hi + 1]
         )
 
+    # ------------------------------------------------------------------
+    # Streaming growth
+    # ------------------------------------------------------------------
+
+    def append(self, time: float, flow: float) -> None:
+        """Append one interaction — O(1) amortized.
+
+        Streams feed events in non-decreasing time order, so an append
+        never needs to re-sort: the new timestamp must be at or after the
+        current last one (raises :class:`ValueError` otherwise, as it
+        would for a non-positive flow). The prefix-sum array is extended
+        in place, so all binary-search and flow accessors stay valid and
+        any object holding a reference to this series (e.g. a cached
+        structural match) sees the new element immediately.
+
+        Zero-copy columnar views are immutable snapshots and refuse to
+        append; use the list-backed series (or a
+        :class:`~repro.graph.columnar.GrowableColumnStore`) for streams.
+        """
+        if flow <= 0:
+            raise ValueError(
+                f"flows must be positive, got {flow!r} on {self.src}->{self.dst}"
+            )
+        if time < self.times[-1]:
+            raise ValueError(
+                f"append out of order on {self.src}->{self.dst}: "
+                f"t={time!r} precedes the series tail t={self.times[-1]!r}"
+            )
+        self.times.append(time)
+        self.flows.append(flow)
+        self._cum.append(self._cum[-1] + flow)
+
 
 class TimeSeriesGraph:
     """The time-series graph ``G_T(V, E_T)`` of Section 4.
@@ -311,3 +343,65 @@ class TimeSeriesGraph:
             f"TimeSeriesGraph({self.num_nodes} nodes, "
             f"{self.num_series} series, {self.num_events} events)"
         )
+
+
+class GrowableTimeSeriesGraph(TimeSeriesGraph):
+    """A :class:`TimeSeriesGraph` that accepts per-event appends.
+
+    The base class is immutable and precomputes its aggregates once; this
+    subclass maintains them incrementally so that online consumers (the
+    streaming detector) can grow the graph one interaction at a time:
+
+    * appending to an **existing** pair is O(1) amortized — the event goes
+      straight onto the pair's :class:`EdgeSeries` (whose identity never
+      changes, so cached references stay live) and the event counter is
+      bumped;
+    * appending the first event of a **new** pair creates its series and
+      splices it into the adjacency lists and the deterministic
+      ``all_series()`` order — O(|E_T|) for the ordered insert, but it
+      happens at most once per connected pair.
+
+    :meth:`append` returns whether the pair was new, which is exactly the
+    signal the incremental structural-match index needs.
+    """
+
+    def __init__(self, series: Iterable[EdgeSeries] = ()) -> None:
+        super().__init__(series)
+
+    def append(self, src: Node, dst: Node, time: float, flow: float) -> bool:
+        """Ingest one interaction; returns True when ``(src, dst)`` is new.
+
+        Per-pair timestamps must be non-decreasing (time-ordered streams
+        guarantee this globally); violations raise :class:`ValueError`.
+        """
+        key = (src, dst)
+        series = self._by_pair.get(key)
+        if series is not None:
+            series.append(time, flow)
+            self._num_events += 1
+            return False
+        series = EdgeSeries(src, dst, [time], [flow])
+        self._by_pair[key] = series
+        self._num_events += 1
+        sort_key = (repr(src), repr(dst))
+        for node, adj in ((src, self._out), (dst, self._in)):
+            lst = adj.setdefault(node, [])
+            at = len(lst)
+            for i, existing in enumerate(lst):
+                if (repr(existing.src), repr(existing.dst)) > sort_key:
+                    at = i
+                    break
+            lst.insert(at, series)
+        if src not in self._nodes or dst not in self._nodes:
+            self._nodes = self._nodes | {src, dst}
+        # Ordered splice (same repr-of-pair key the base class sorts by):
+        # O(|E_T|) per new pair, not a full O(|E_T| log |E_T|) re-sort.
+        pair_key = repr(key)
+        all_series = self._all_series
+        at = len(all_series)
+        for i, existing in enumerate(all_series):
+            if repr((existing.src, existing.dst)) > pair_key:
+                at = i
+                break
+        self._all_series = all_series[:at] + (series,) + all_series[at:]
+        return True

@@ -1,0 +1,268 @@
+"""Unit tests for the incremental structural-match index and its sweep."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.incremental import (
+    IncrementalMatcher,
+    MatchProgress,
+    match_key,
+    next_window_end,
+    sweep_closed_windows,
+)
+from repro.core.matching import StructuralMatch, find_structural_matches
+from repro.core.motif import Motif, paper_motifs
+from repro.graph.interaction import InteractionGraph
+from repro.graph.timeseries import EdgeSeries, GrowableTimeSeriesGraph
+
+
+def _normalized(matches):
+    return {(m.vertex_map, tuple((s.src, s.dst) for s in m.series)) for m in matches}
+
+
+class TestIncrementalP1:
+    """The index's match set must always equal a from-scratch phase P1."""
+
+    def _replay(self, stream, motif):
+        graph = GrowableTimeSeriesGraph()
+        matcher = IncrementalMatcher(graph, motif, motif.delta, motif.phi)
+        for src, dst, t, f in stream:
+            matcher.add(src, dst, t, f)
+        return graph, matcher
+
+    @pytest.mark.parametrize("name", sorted(paper_motifs(delta=10)))
+    def test_matches_equal_offline_p1_catalog(self, name, base_seed):
+        rng = random.Random(base_seed)
+        stream = []
+        for _ in range(80):
+            u, v = rng.sample(range(6), 2)
+            stream.append((u, v, float(rng.randrange(0, 40)), 1.0))
+        stream.sort(key=lambda e: e[2])
+        motif = paper_motifs(delta=10)[name]
+        graph, matcher = self._replay(stream, motif)
+        offline = _normalized(find_structural_matches(graph, motif))
+        assert _normalized(matcher.matches()) == offline
+        assert matcher.match_count == len(offline)
+
+    def test_new_pair_discovery_is_exact_diff(self):
+        """Adding one pair discovers exactly the matches through it."""
+        motif = Motif.chain(3, delta=10, phi=0)
+        graph = GrowableTimeSeriesGraph()
+        matcher = IncrementalMatcher(graph, motif, 10.0, 0.0)
+        matcher.add("a", "b", 1, 1)
+        matcher.add("b", "c", 2, 1)
+        before = _normalized(matcher.matches())
+        matcher.add("c", "d", 3, 1)  # first event of a brand-new pair
+        after = _normalized(matcher.matches())
+        new = after - before
+        assert before <= after
+        assert all(("c", "d") in pairs for _, pairs in new)
+        assert after == _normalized(find_structural_matches(graph, motif))
+
+    def test_repeat_events_on_known_pair_discover_nothing(self):
+        motif = Motif.chain(3, delta=10, phi=0)
+        graph = GrowableTimeSeriesGraph()
+        matcher = IncrementalMatcher(graph, motif, 10.0, 0.0)
+        matcher.add("a", "b", 1, 1)
+        matcher.add("b", "c", 2, 1)
+        count = matcher.matches_discovered
+        for t in range(3, 20):
+            matcher.add("a", "b", t, 2)
+        assert matcher.matches_discovered == count
+
+    def test_cycle_motif_edge_used_twice_not_duplicated(self):
+        """A match whose edge mapping uses the new series at two positions
+        must be discovered exactly once (first-occurrence dedup)."""
+        motif = Motif(("x", "y", "x", "z"), delta=10, phi=0)  # (0,1,0,2)
+        graph = GrowableTimeSeriesGraph()
+        matcher = IncrementalMatcher(graph, motif, 10.0, 0.0)
+        matcher.add("a", "b", 1, 1)
+        matcher.add("b", "a", 2, 1)   # a->b->a->? needs this both ways
+        matcher.add("a", "c", 3, 1)
+        graph_matches = _normalized(find_structural_matches(graph, motif))
+        index_matches = _normalized(matcher.matches())
+        assert index_matches == graph_matches
+        assert matcher.match_count == len(index_matches)  # no duplicates
+
+
+class TestSchedulingLifecycle:
+    def test_infeasible_match_wakes_on_its_own_pair(self):
+        """φ-infeasible matches park; they are rechecked (and scheduled)
+        only when one of their own pairs receives flow."""
+        motif = Motif.chain(3, delta=10, phi=5)
+        graph = GrowableTimeSeriesGraph()
+        matcher = IncrementalMatcher(graph, motif, 10.0, 5.0)
+        matcher.add("a", "b", 1, 10)
+        matcher.add("b", "c", 2, 1)  # b->c flow 1 < φ: match infeasible
+        assert matcher.match_count == 1
+        assert matcher.scheduled_count == 0
+        matcher.add("q", "r", 3, 100)  # unrelated pair: still parked
+        assert matcher.scheduled_count == 0
+        matcher.add("b", "c", 4, 10)  # total now ≥ φ: feasible, scheduled
+        assert matcher.scheduled_count == 1
+
+    def test_drained_match_wakes_on_first_edge_event(self):
+        motif = Motif.chain(2, delta=3, phi=0)
+        graph = GrowableTimeSeriesGraph()
+        matcher = IncrementalMatcher(graph, motif, 3.0, 0.0)
+        matcher.add("a", "b", 1, 1)
+        out = []
+        matcher.emit_closed(100.0, out.append)  # window [1,4] closed, drained
+        assert len(out) == 1
+        assert matcher.scheduled_count == 0
+        matcher.add("a", "b", 50, 2)  # new anchor revives the match
+        assert matcher.scheduled_count == 1
+        matcher.emit_closed(float("inf"), out.append)
+        assert len(out) == 2
+
+    def test_duplicate_anchor_redrains(self):
+        motif = Motif.chain(2, delta=3, phi=0)
+        graph = GrowableTimeSeriesGraph()
+        matcher = IncrementalMatcher(graph, motif, 3.0, 0.0)
+        matcher.add("a", "b", 1, 1)
+        out = []
+        matcher.emit_closed(100.0, out.append)       # anchor 1 done, drained
+        matcher.add("a", "b", 100, 2)                # fresh anchor: revived
+        matcher.emit_closed(float("inf"), out.append)  # anchor 100 done
+        emitted = len(out)
+        matcher.add("a", "b", 100, 3)                # tied with anchor 100
+        assert matcher.scheduled_count == 0          # re-drained, no window
+        matcher.emit_closed(float("inf"), out.append)
+        assert len(out) == emitted                   # nothing re-emitted
+
+    def test_emit_closed_pops_only_ready_matches(self):
+        motif = Motif.chain(2, delta=5, phi=0)
+        graph = GrowableTimeSeriesGraph()
+        matcher = IncrementalMatcher(graph, motif, 5.0, 0.0)
+        matcher.add("a", "b", 1, 1)    # deadline 6
+        matcher.add("c", "d", 90, 1)   # deadline 95
+        out = []
+        matcher.emit_closed(50.0, out.append)
+        assert len(out) == 1           # only the ready match swept
+        assert matcher.scheduled_count == 1  # c->d still waiting at 95
+
+
+class TestProgressKeyingRegression:
+    """The detector's per-match skip-rule state used to be keyed on
+    ``match.vertex_map`` alone. Two distinct structural matches over the
+    same vertices (multigraph-style parallel edge sequences) then shared
+    one ``(last_anchor, Λ)`` cursor: whichever swept second saw the
+    other's anchor as "already processed" and silently dropped instances.
+    The incremental matcher now owns one :class:`MatchProgress` *object
+    per match* (no shared keys at all), and the rebuild baseline keys on
+    the full edge mapping (:func:`match_key`)."""
+
+    def _parallel_matches(self):
+        motif = Motif.chain(2, delta=5, phi=0)
+        r1 = EdgeSeries("a", "b", [1.0, 4.0], [2.0, 3.0])
+        r2 = EdgeSeries("a", "b", [2.0], [7.0])  # parallel series, same pair
+        m1 = StructuralMatch(motif, ("a", "b"), (r1,))
+        m2 = StructuralMatch(motif, ("a", "b"), (r2,))
+        return m1, m2
+
+    def test_shared_state_drops_instances(self):
+        """The bug mechanism, demonstrated: one shared cursor loses m2."""
+        m1, m2 = self._parallel_matches()
+        shared = MatchProgress()
+        out = []
+        sweep_closed_windows(m1, shared, float("inf"), 5.0, 0.0, out.append)
+        first = len(out)
+        sweep_closed_windows(m2, shared, float("inf"), 5.0, 0.0, out.append)
+        assert first >= 1
+        assert len(out) == first  # m2's instance silently dropped
+
+    def test_per_match_state_emits_both(self):
+        """The fix: independent progress objects — both matches emit."""
+        m1, m2 = self._parallel_matches()
+        out = []
+        sweep_closed_windows(
+            m1, MatchProgress(), float("inf"), 5.0, 0.0, out.append
+        )
+        first = len(out)
+        sweep_closed_windows(
+            m2, MatchProgress(), float("inf"), 5.0, 0.0, out.append
+        )
+        assert first >= 1
+        assert len(out) > first
+
+    def test_match_key_carries_the_full_edge_mapping(self):
+        motif = Motif.cycle(3, delta=10, phi=0)
+        rab = EdgeSeries("a", "b", [1.0], [1.0])
+        rbc = EdgeSeries("b", "c", [2.0], [1.0])
+        rca = EdgeSeries("c", "a", [3.0], [1.0])
+        match = StructuralMatch(motif, ("a", "b", "c"), (rab, rbc, rca))
+        key = match_key(match)
+        assert key == (
+            ("a", "b", "c"),
+            (("a", "b"), ("b", "c"), ("c", "a")),
+        )
+
+
+class TestSweepHelpers:
+    def test_next_window_end(self):
+        motif = Motif.chain(2, delta=4, phi=0)
+        series = EdgeSeries("a", "b", [1.0, 1.0, 7.0], [1.0, 1.0, 1.0])
+        match = StructuralMatch(motif, ("a", "b"), (series,))
+        progress = MatchProgress(match)
+        assert next_window_end(match, progress, 4.0) == 5.0
+        progress.last_anchor = 1.0
+        assert next_window_end(match, progress, 4.0) == 11.0
+        progress.last_anchor = 7.0
+        assert next_window_end(match, progress, 4.0) is None
+
+    def test_sweep_respects_horizon_and_resumes(self):
+        motif = Motif.chain(2, delta=2, phi=0)
+        series = EdgeSeries(
+            "a", "b", [1.0, 5.0, 9.0], [1.0, 2.0, 4.0]
+        )
+        match = StructuralMatch(motif, ("a", "b"), (series,))
+        progress = MatchProgress(match)
+        out = []
+        sweep_closed_windows(match, progress, 6.0, 2.0, 0.0, out.append)
+        assert [i.start_time for i in out] == [1.0]
+        sweep_closed_windows(match, progress, float("inf"), 2.0, 0.0, out.append)
+        assert [i.start_time for i in out] == [1.0, 5.0, 9.0]
+        # Exactly once: nothing left.
+        sweep_closed_windows(match, progress, float("inf"), 2.0, 0.0, out.append)
+        assert len(out) == 3
+
+
+def test_incremental_matcher_bootstraps_from_prefilled_graph(base_seed):
+    """Construction on a non-empty graph must index its existing matches."""
+    rng = random.Random(base_seed)
+    stream = []
+    for _ in range(40):
+        u, v = rng.sample(range(5), 2)
+        stream.append((u, v, float(rng.randrange(0, 30)), float(rng.randint(1, 5))))
+    stream.sort(key=lambda e: e[2])
+    graph = GrowableTimeSeriesGraph()
+    half = len(stream) // 2
+    for src, dst, t, f in stream[:half]:
+        graph.append(src, dst, t, f)
+    motif = Motif.chain(3, delta=8, phi=0)
+    matcher = IncrementalMatcher(graph, motif, 8.0, 0.0)
+    assert _normalized(matcher.matches()) == _normalized(
+        find_structural_matches(graph, motif)
+    )
+    for src, dst, t, f in stream[half:]:
+        matcher.add(src, dst, t, f)
+    assert _normalized(matcher.matches()) == _normalized(
+        find_structural_matches(graph, motif)
+    )
+
+
+def test_single_feasibility_check_per_discovery():
+    """A match discovered infeasible by an add() must not be rechecked by
+    the same add()'s waiting-wake pass (it already saw the new event)."""
+    graph = GrowableTimeSeriesGraph()
+    matcher = IncrementalMatcher(graph, Motif.chain(3, delta=10, phi=5), 10.0, 5.0)
+    matcher.add("a", "b", 1, 10)
+    before = matcher.feasibility_checks
+    matcher.add("b", "c", 2, 1)  # discovers (a,b,c), infeasible under phi
+    assert matcher.feasibility_checks == before + 1
+    assert matcher.scheduled_count == 0
+    matcher.add("b", "c", 3, 10)  # wake: now feasible
+    assert matcher.scheduled_count == 1

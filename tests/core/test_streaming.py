@@ -32,8 +32,8 @@ def offline_keys(stream, motif):
     return {i.canonical_key() for i in result.instances}
 
 
-def streamed_keys(stream, motif, poll_every, seed=0):
-    detector = StreamingDetector(motif)
+def streamed_keys(stream, motif, poll_every, mode="incremental"):
+    detector = StreamingDetector(motif, mode=mode)
     emitted = []
     for i, (src, dst, t, f) in enumerate(stream):
         detector.add(src, dst, t, f)
@@ -48,18 +48,22 @@ def streamed_keys(stream, motif, poll_every, seed=0):
 class TestStreamingEqualsOffline:
     @pytest.mark.parametrize("seed", range(6))
     @pytest.mark.parametrize("poll_every", [1, 7, 0])
-    def test_chain(self, seed, poll_every):
+    @pytest.mark.parametrize("mode", ["incremental", "rebuild"])
+    def test_chain(self, seed, poll_every, mode):
         stream = random_stream(seed)
         motif = Motif.chain(3, delta=12, phi=2)
-        assert streamed_keys(stream, motif, poll_every) == offline_keys(
+        assert streamed_keys(stream, motif, poll_every, mode) == offline_keys(
             stream, motif
         )
 
     @pytest.mark.parametrize("seed", range(4))
-    def test_cycle(self, seed):
+    @pytest.mark.parametrize("mode", ["incremental", "rebuild"])
+    def test_cycle(self, seed, mode):
         stream = random_stream(seed, nodes=5)
         motif = Motif.cycle(3, delta=15, phi=0)
-        assert streamed_keys(stream, motif, 5) == offline_keys(stream, motif)
+        assert streamed_keys(stream, motif, 5, mode) == offline_keys(
+            stream, motif
+        )
 
     def test_catalog_small_stream(self):
         stream = random_stream(42, nodes=8, events=80)
@@ -134,45 +138,77 @@ class TestStreamingBehaviour:
             detector.add("a", "b", 1, 0)
 
 
-class TestViewCaching:
-    """Poll-without-add must not rebuild the time-series view (regression
-    for the O(|E| + matches)-per-poll behaviour the docstring used to
-    admit)."""
+class TestIncrementalContract:
+    """The incremental detector's hard contract: ``rebuild_count`` stays 0
+    for its whole lifetime — adds grow the graph in place, polls pop only
+    matches with ready windows, nothing is recomputed from scratch."""
 
-    def _fed_detector(self):
-        detector = StreamingDetector(Motif.chain(3, delta=5, phi=0))
+    def _fed_detector(self, **kwargs):
+        detector = StreamingDetector(Motif.chain(3, delta=5, phi=0), **kwargs)
         detector.add("a", "b", 1, 2)
         detector.add("b", "c", 3, 4)
         detector.add("x", "y", 50, 1)
         return detector
 
-    def test_poll_without_add_does_no_rebuild(self):
+    def test_rebuild_count_stays_zero(self):
         detector = self._fed_detector()
         first = detector.poll()
         assert len(first) == 1
-        rebuilds = detector.rebuild_count
-        assert rebuilds >= 1
         for _ in range(3):
             assert detector.poll() == []  # nothing new: exactly-once holds
-        assert detector.rebuild_count == rebuilds
+        assert detector.rebuild_count == 0
 
-    def test_flush_after_poll_reuses_view(self):
+    def test_interleaved_adds_and_polls_never_rebuild(self):
+        """The sequence that previously forced a rebuild per batch: every
+        add dirties the view, every poll pays O(|E| + matches). Now the
+        counter must stay flat at zero after warmup."""
         detector = self._fed_detector()
         detector.poll()
-        rebuilds = detector.rebuild_count
-        detector.flush()
-        assert detector.rebuild_count == rebuilds
-
-    def test_add_invalidates_cache(self):
-        detector = self._fed_detector()
-        detector.poll()
-        rebuilds = detector.rebuild_count
-        detector.add("a", "b", 60, 2)
-        detector.add("b", "c", 62, 3)
-        detector.add("z", "w", 99, 1)
-        emitted = detector.poll()
-        assert detector.rebuild_count == rebuilds + 1
+        assert detector.rebuild_count == 0  # warmup done, contract holds
+        emitted = []
+        for t in range(60, 90, 3):
+            detector.add("a", "b", t, 2)
+            detector.add("b", "c", t + 1, 3)
+            emitted.extend(detector.poll())
+        emitted.extend(detector.flush())
+        assert detector.rebuild_count == 0
         assert any(i.vertex_map == ("a", "b", "c") for i in emitted)
+
+    def test_rebuild_mode_still_counts(self):
+        """The legacy baseline keeps its semantics (benchmark ablation)."""
+        detector = self._fed_detector(mode="rebuild")
+        detector.poll()
+        rebuilds = detector.rebuild_count
+        assert rebuilds >= 1
+        detector.poll()
+        assert detector.rebuild_count == rebuilds  # cached between polls
+        detector.add("a", "b", 60, 2)
+        detector.add("z", "w", 99, 1)
+        detector.poll()
+        assert detector.rebuild_count == rebuilds + 1
+
+    def test_modes_emit_identically(self):
+        stream = random_stream(seed=23)
+        motif = Motif.chain(3, delta=9, phi=1)
+        assert streamed_keys(stream, motif, 4, "incremental") == streamed_keys(
+            stream, motif, 4, "rebuild"
+        )
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            StreamingDetector(Motif.chain(2, delta=1), mode="magic")
+
+    def test_stats_counters(self):
+        detector = self._fed_detector()
+        detector.poll()
+        stats = detector.stats()
+        assert stats["mode"] == "incremental"
+        assert stats["events"] == 3
+        assert stats["pairs"] == 3
+        assert stats["rebuilds"] == 0
+        assert stats["emitted"] == 1
+        assert detector.match_count >= 1
+        assert detector.num_events == 3
 
     def test_emissions_identical_with_redundant_polls(self):
         """Interleaving no-op polls must not change the emitted set."""
@@ -188,3 +224,127 @@ class TestViewCaching:
                     chatty.update(i.canonical_key() for i in detector.poll())
         chatty.update(i.canonical_key() for i in detector.flush())
         assert chatty == baseline
+        assert detector.rebuild_count == 0
+
+
+class TestStreamingEdgeCases:
+    """Boundary behaviour around the watermark, horizons and anchors."""
+
+    @pytest.mark.parametrize("mode", ["incremental", "rebuild"])
+    def test_duplicate_timestamps_at_watermark(self, mode):
+        """Events tied with the watermark must still land inside any open
+        window; closing happens only when the watermark strictly passes."""
+        detector = StreamingDetector(
+            Motif.chain(2, delta=4, phi=0), mode=mode
+        )
+        detector.add("a", "b", 1, 2)
+        detector.add("a", "b", 5, 3)   # at window end of [1, 5]
+        detector.add("c", "d", 5, 1)   # tied with the watermark
+        assert detector.poll() == []   # [1, 5] not closed: more t=5 possible
+        detector.add("a", "b", 5, 4)   # another tie, still inside [1, 5]
+        detector.add("z", "w", 20, 1)
+        emitted = [
+            i for i in detector.poll() if i.vertex_map == ("a", "b")
+        ]
+        flows = sorted(i.flow for i in emitted)
+        assert flows[-1] == 9.0  # all three t<=5 events aggregated
+
+    @pytest.mark.parametrize("mode", ["incremental", "rebuild"])
+    def test_window_closing_exactly_at_horizon_stays_open(self, mode):
+        detector = StreamingDetector(
+            Motif.chain(2, delta=4, phi=0), mode=mode
+        )
+        detector.add("a", "b", 1, 2)
+        detector.add("x", "y", 5, 1)   # watermark == window end of [1, 5]
+        assert detector.poll() == []
+        detector.add("a", "b", 5, 3)   # lands inside [1, 5]!
+        detector.add("z", "w", 20, 1)
+        [instance] = [
+            i for i in detector.poll() if i.vertex_map == ("a", "b")
+        ]
+        assert instance.flow == 5.0
+        # flush() closes the remaining windows exactly once.
+        remaining = detector.flush()
+        keys = [i.canonical_key() for i in remaining]
+        assert len(keys) == len(set(keys))
+
+    @pytest.mark.parametrize("mode", ["incremental", "rebuild"])
+    def test_poll_before_any_add(self, mode):
+        detector = StreamingDetector(
+            Motif.chain(3, delta=10, phi=0), mode=mode
+        )
+        assert detector.poll() == []
+        assert detector.flush() == []
+        assert detector.rebuild_count == 0
+
+    @pytest.mark.parametrize("mode", ["incremental", "rebuild"])
+    def test_equal_timestamp_anchor_dedup(self, mode):
+        """Several first-edge events at one timestamp anchor one window —
+        emissions must not duplicate."""
+        detector = StreamingDetector(
+            Motif.chain(2, delta=3, phi=0), mode=mode
+        )
+        detector.add("a", "b", 2, 1)
+        detector.add("a", "b", 2, 2)
+        detector.add("a", "b", 2, 4)
+        detector.add("z", "w", 50, 1)
+        emitted = detector.poll()
+        keys = [i.canonical_key() for i in emitted]
+        assert len(keys) == len(set(keys))
+        [instance] = [i for i in emitted if i.vertex_map == ("a", "b")]
+        assert instance.flow == 7.0
+        assert detector.poll() == []  # exactly once
+
+    def test_add_after_flush_rejected(self):
+        detector = StreamingDetector(Motif.chain(2, delta=4, phi=0))
+        detector.add("a", "b", 1, 2)
+        detector.flush()
+        with pytest.raises(ValueError, match="flushed"):
+            detector.add("a", "b", 9, 1)
+        assert detector.flush() == []  # idempotent
+
+    def test_new_pair_after_warmup_discovers_matches(self):
+        """A pair first seen late must still create its matches — and
+        without any rebuild."""
+        detector = StreamingDetector(Motif.chain(3, delta=8, phi=0))
+        detector.add("a", "b", 1, 2)
+        detector.add("q", "r", 30, 1)
+        detector.poll()
+        before = detector.match_count
+        detector.add("b", "c", 31, 5)  # completes a->b->c structurally
+        assert detector.match_count > before
+        detector.add("a", "b", 40, 1)
+        detector.add("b", "c", 42, 6)
+        detector.add("z", "w", 99, 1)
+        emitted = detector.poll()
+        assert any(i.vertex_map == ("a", "b", "c") for i in emitted)
+        assert detector.rebuild_count == 0
+
+
+class TestEmissionBufferRecovery:
+    def test_instances_survive_an_aborted_poll(self):
+        """An exception inside poll() (e.g. Ctrl-C in a live session) must
+        not lose instances whose progress cursor already advanced — they
+        stay buffered and come out of the next poll/flush."""
+        detector = StreamingDetector(Motif.chain(2, delta=2, phi=0))
+        detector.add("a", "b", 1, 5)
+        detector.add("z", "w", 50, 1)
+
+        class Boom(Exception):
+            pass
+
+        matcher = detector._matcher
+        original = matcher.emit_closed
+
+        def exploding(horizon, sink):
+            original(horizon, sink)
+            raise Boom()
+
+        matcher.emit_closed = exploding
+        with pytest.raises(Boom):
+            detector.poll()
+        matcher.emit_closed = original
+        recovered = detector.flush()
+        assert any(i.vertex_map == ("a", "b") for i in recovered)
+        keys = [i.canonical_key() for i in recovered]
+        assert len(keys) == len(set(keys))  # still exactly once

@@ -88,3 +88,89 @@ class TestFindCommand:
         )
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestStreamCommand:
+    @pytest.fixture
+    def edges_file(self, tmp_path):
+        path = tmp_path / "edges.csv"
+        write_csv(figure2_graph(), str(path))
+        return str(path)
+
+    def test_stream_equals_find(self, edges_file, capsys):
+        code = main(
+            ["stream", edges_file, "--motif", "M(3,3)", "--delta", "10",
+             "--phi", "7"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 1
+        assert records[0]["flow"] == 10.0
+        assert "0 rebuilds" in captured.err
+
+    def test_stream_batched_polling(self, edges_file, capsys):
+        code = main(
+            ["stream", edges_file, "--motif", "M(3,3)", "--delta", "10",
+             "--phi", "7", "--batch", "5", "--mode", "rebuild"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.splitlines()) == 1
+
+    def test_stream_follow_drains_appended_rows(self, tmp_path, capsys):
+        """--follow keeps reading rows appended after startup; --max-idle
+        bounds the wait so the test terminates."""
+        path = tmp_path / "live.csv"
+        path.write_text("src,dst,time,flow\na,b,1,5\n")
+        import threading
+
+        def late_writer():
+            import time
+
+            time.sleep(0.2)
+            with open(path, "a") as fh:
+                fh.write("b,c,3,4\nz,w,50,1\n")
+
+        writer = threading.Thread(target=late_writer)
+        writer.start()
+        code = main(
+            ["stream", str(path), "--follow", "--interval", "0.05",
+             "--max-idle", "0.6", "--motif", "0-1-2", "--delta", "10"]
+        )
+        writer.join()
+        assert code == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 1  # a->b->c completed by the late rows
+        assert records[0]["flow"] == 4.0
+
+    def test_stream_out_of_order_raises_by_default(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,5,1\na,b,4,1\n")
+        code = main(["stream", str(path), "--motif", "0-1", "--delta", "2"])
+        assert code == 2
+        assert "out-of-order" in capsys.readouterr().err
+
+    def test_stream_out_of_order_skipped_on_request(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,5,1\na,b,4,1\nz,w,50,1\n")
+        code = main(
+            ["stream", str(path), "--motif", "0-1", "--delta", "2",
+             "--on-error", "skip"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "2 events" in captured.err  # the t=4 row was dropped
+
+    def test_stream_follow_rejects_stdin(self, capsys):
+        code = main(["stream", "-", "--follow", "--motif", "0-1", "--delta", "2"])
+        assert code == 2
+        assert "follow" in capsys.readouterr().err
+
+    def test_stream_malformed_row_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,1,notaflow\n")
+        code = main(["stream", str(path), "--motif", "0-1", "--delta", "2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -144,3 +144,109 @@ class TestTimeSeriesGraph:
         assert g.num_nodes == 0
         assert g.num_series == 0
         assert g.all_series() == []
+
+
+class TestEdgeSeriesAppend:
+    """Streaming growth: O(1) amortized, in-place, order-validated."""
+
+    def test_append_extends_everything_in_place(self):
+        series = EdgeSeries("a", "b", [1.0, 3.0], [2.0, 4.0])
+        series.append(5.0, 6.0)
+        assert len(series) == 3
+        assert series.times == [1.0, 3.0, 5.0]
+        assert series.total_flow == 12.0
+        assert series.flow_between(0, 2) == 12.0
+        assert series.last_index_at_or_before(5.0) == 2
+        assert series.flow_in_interval(3.0, 5.0) == 10.0
+
+    def test_append_tied_timestamp_allowed(self):
+        series = EdgeSeries("a", "b", [1.0], [2.0])
+        series.append(1.0, 3.0)
+        assert series.times == [1.0, 1.0]
+        assert series.total_flow == 5.0
+
+    def test_append_out_of_order_rejected(self):
+        series = EdgeSeries("a", "b", [5.0], [1.0])
+        with pytest.raises(ValueError, match="out of order"):
+            series.append(4.0, 1.0)
+
+    def test_append_non_positive_flow_rejected(self):
+        series = EdgeSeries("a", "b", [1.0], [1.0])
+        with pytest.raises(ValueError, match="positive"):
+            series.append(2.0, 0.0)
+
+    def test_cached_reference_sees_new_elements(self):
+        """Holders of the series object (cached structural matches)
+        observe appends immediately — the identity never changes."""
+        series = EdgeSeries("a", "b", [1.0], [1.0])
+        alias = series
+        series.append(2.0, 3.0)
+        assert alias.flow_in_interval(0.0, 10.0) == 4.0
+
+
+class TestGrowableTimeSeriesGraph:
+    def test_append_existing_pair_keeps_identity(self):
+        from repro.graph.timeseries import GrowableTimeSeriesGraph
+
+        graph = GrowableTimeSeriesGraph()
+        assert graph.append("a", "b", 1.0, 2.0) is True
+        series = graph.series("a", "b")
+        assert graph.append("a", "b", 3.0, 4.0) is False
+        assert graph.series("a", "b") is series
+        assert len(series) == 2
+        assert graph.num_events == 2
+
+    def test_new_pair_splices_adjacency_and_order(self):
+        from repro.graph.timeseries import GrowableTimeSeriesGraph
+
+        graph = GrowableTimeSeriesGraph()
+        for src, dst, t in [("c", "d", 1.0), ("a", "b", 2.0), ("a", "d", 3.0), ("b", "d", 4.0)]:
+            graph.append(src, dst, t, 1.0)
+        # all_series order must match a from-scratch construction
+        rebuilt = TimeSeriesGraph(
+            EdgeSeries(s.src, s.dst, list(s.times), list(s.flows))
+            for s in graph.all_series()
+        )
+        assert [(s.src, s.dst) for s in graph.all_series()] == [
+            (s.src, s.dst) for s in rebuilt.all_series()
+        ]
+        assert [
+            (s.src, s.dst) for s in graph.out_series("a")
+        ] == [(s.src, s.dst) for s in rebuilt.out_series("a")]
+        assert [
+            (s.src, s.dst) for s in graph.in_series("d")
+        ] == [(s.src, s.dst) for s in rebuilt.in_series("d")]
+        assert graph.nodes == rebuilt.nodes
+        assert graph.num_series == 4
+
+    def test_growable_equals_from_interactions(self):
+        """Growing event-by-event must give the same graph as batch
+        construction on the full stream."""
+        import random
+
+        from repro.graph.events import Interaction
+        from repro.graph.timeseries import GrowableTimeSeriesGraph
+
+        rng = random.Random(5)
+        stream = []
+        for _ in range(60):
+            u, v = rng.sample("abcde", 2)
+            stream.append((u, v, float(rng.randrange(0, 30)), float(rng.randint(1, 5))))
+        stream.sort(key=lambda e: e[2])
+        grown = GrowableTimeSeriesGraph()
+        for src, dst, t, f in stream:
+            grown.append(src, dst, t, f)
+        batch = TimeSeriesGraph.from_interactions(
+            Interaction(*e) for e in stream
+        )
+        assert grown.num_events == batch.num_events
+        assert grown.nodes == batch.nodes
+        assert grown.all_series() == batch.all_series()
+
+    def test_per_pair_out_of_order_rejected(self):
+        from repro.graph.timeseries import GrowableTimeSeriesGraph
+
+        graph = GrowableTimeSeriesGraph()
+        graph.append("a", "b", 5.0, 1.0)
+        with pytest.raises(ValueError, match="out of order"):
+            graph.append("a", "b", 4.0, 1.0)

@@ -1,7 +1,9 @@
 """Property tests: parallel output ≡ serial output, any sharding.
 
-Seeded-random interaction graphs stress the partitioner where it can go
-wrong: duplicate parallel edges (including identical (src, dst, time)
+Seeded-random interaction graphs (seeds derived from the shared
+``base_seed`` fixture in ``tests/conftest.py`` — failures print the exact
+seed, ``REPRO_TEST_SEED`` reproduces it) stress the partitioner where it
+can go wrong: duplicate parallel edges (including identical (src, dst, time)
 triples), tied timestamps, δ-windows straddling shard boundaries, and
 anchors landing exactly on cut points (integer timestamps + the "events"
 strategy cut at event times guarantee boundary anchors). For every graph,
@@ -52,10 +54,10 @@ def _keys(instances):
     return sorted(i.canonical_key() for i in instances)
 
 
-@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("case", [0, 1, 2])
 @pytest.mark.parametrize("shards", SHARD_COUNTS)
-def test_find_instances_equals_serial(seed, shards):
-    graph = _random_graph(seed)
+def test_find_instances_equals_serial(case, shards, base_seed):
+    graph = _random_graph(base_seed + case)
     serial_engine = FlowMotifEngine(graph)
     parallel_engine = ParallelFlowMotifEngine(graph, jobs=1, shards=shards)
     for motif in _motifs():
@@ -67,8 +69,8 @@ def test_find_instances_equals_serial(seed, shards):
 
 
 @pytest.mark.parametrize("jobs", JOB_COUNTS)
-def test_jobs_do_not_change_results(jobs):
-    graph = _random_graph(seed=3)
+def test_jobs_do_not_change_results(jobs, base_seed):
+    graph = _random_graph(seed=base_seed + 3)
     motif = Motif.chain(3, delta=9, phi=4)
     serial = FlowMotifEngine(graph).find_instances(motif)
     backend = "serial" if jobs == 1 else "thread"
@@ -79,9 +81,9 @@ def test_jobs_do_not_change_results(jobs):
 
 
 @pytest.mark.parametrize("strategy", ["events", "width"])
-@pytest.mark.parametrize("seed", [4, 5])
-def test_strategies_are_output_equivalent(seed, strategy):
-    graph = _random_graph(seed)
+@pytest.mark.parametrize("case", [4, 5])
+def test_strategies_are_output_equivalent(case, strategy, base_seed):
+    graph = _random_graph(base_seed + case)
     motif = Motif.cycle(3, delta=12, phi=2)
     serial = FlowMotifEngine(graph).find_instances(motif)
     parallel = ParallelFlowMotifEngine(
@@ -91,8 +93,8 @@ def test_strategies_are_output_equivalent(seed, strategy):
 
 
 @pytest.mark.parametrize("shards", SHARD_COUNTS)
-def test_counts_and_top_k_equal_serial(shards):
-    graph = _random_graph(seed=6)
+def test_counts_and_top_k_equal_serial(shards, base_seed):
+    graph = _random_graph(seed=base_seed + 6)
     serial_engine = FlowMotifEngine(graph)
     parallel_engine = ParallelFlowMotifEngine(graph, jobs=1, shards=shards)
     for motif in _motifs():
@@ -106,10 +108,10 @@ def test_counts_and_top_k_equal_serial(shards):
 
 
 @pytest.mark.parametrize("shards", [2, 3, 8])
-def test_ablation_flags_equal_serial(shards):
+def test_ablation_flags_equal_serial(shards, base_seed):
     """skip_rule/prefix_pruning ablations shard identically (they change
     only how the search works, never its output)."""
-    graph = _random_graph(seed=7, num_events=60)
+    graph = _random_graph(seed=base_seed + 7, num_events=60)
     motif = Motif.chain(3, delta=8, phi=3)
     serial_engine = FlowMotifEngine(graph)
     parallel_engine = ParallelFlowMotifEngine(graph, jobs=1, shards=shards)
@@ -123,9 +125,9 @@ def test_ablation_flags_equal_serial(shards):
         assert _keys(parallel.instances) == _keys(serial.instances)
 
 
-def test_parallel_runs_are_mutually_deterministic():
+def test_parallel_runs_are_mutually_deterministic(base_seed):
     """Same query, different job counts/backends → byte-identical order."""
-    graph = _random_graph(seed=8)
+    graph = _random_graph(seed=base_seed + 8)
     motif = Motif.chain(3, delta=9, phi=2)
     reference = ParallelFlowMotifEngine(
         graph, jobs=1, shards=4
