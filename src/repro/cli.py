@@ -151,6 +151,11 @@ class _FollowLines:
     (None = follow forever). Duck-types the ``read`` attribute
     :func:`repro.graph.io._open_maybe` checks, so it plugs straight into
     :func:`repro.graph.io.iter_csv_interactions`.
+
+    Survives the file disappearing or being rotated mid-tail (the real
+    ``tail -F`` contract): a deleted file is waited on until it reappears
+    (or ``max_idle`` expires), and a replaced/truncated file is reopened
+    from its start.
     """
 
     def __init__(self, path, interval: float, max_idle: Optional[float]):
@@ -162,13 +167,32 @@ class _FollowLines:
         raise NotImplementedError("_FollowLines is an iteration-only source")
 
     def __iter__(self):
+        import os as _os
         import time as _time
 
         buffer = ""
         idle = 0.0
-        with open(self._path, "r", encoding="utf-8") as handle:
+        handle = None
+        inode = None
+        try:
             while True:
-                chunk = handle.readline()
+                if handle is None:
+                    try:
+                        handle = open(self._path, "r", encoding="utf-8")
+                        inode = _os.fstat(handle.fileno()).st_ino
+                    except OSError:
+                        # Not there (yet/anymore): wait for it like tail -F.
+                        if self._max_idle is not None and idle >= self._max_idle:
+                            if buffer:
+                                yield buffer
+                            return
+                        _time.sleep(self._interval)
+                        idle += self._interval
+                        continue
+                try:
+                    chunk = handle.readline()
+                except OSError:
+                    chunk = ""
                 if chunk:
                     idle = 0.0
                     buffer += chunk
@@ -176,17 +200,54 @@ class _FollowLines:
                         yield buffer
                         buffer = ""
                     continue
+                # No new data. Detect rotation (new inode) or truncation
+                # (file shrank under our offset) — both mean our handle no
+                # longer tails the live file — and deletion (stat fails).
+                try:
+                    stat = _os.stat(self._path)
+                    stale = (
+                        stat.st_ino != inode or stat.st_size < handle.tell()
+                    )
+                except OSError:
+                    stale = True
+                if stale:
+                    handle.close()
+                    handle = None
+                    inode = None
                 if self._max_idle is not None and idle >= self._max_idle:
                     if buffer:
                         yield buffer
                     return
                 _time.sleep(self._interval)
                 idle += self._interval
+        finally:
+            if handle is not None:
+                handle.close()
+
+
+def _write_checkpoint(detector, path: str) -> None:
+    """Atomically persist a detector snapshot (tmp file + rename)."""
+    import os
+
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(detector.checkpoint(), handle)
+    os.replace(tmp, path)
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.core.streaming import StreamingDetector
+    from repro.resilience.checkpoint import CheckpointError
 
+    strict = args.strict
+    if args.on_error is not None:
+        print(
+            "warning: --on-error is deprecated; malformed lines are "
+            "quarantined by default, use --strict to abort on them",
+            file=sys.stderr,
+        )
+        if args.on_error == "raise":
+            strict = True
     try:
         motif = Motif.from_string(args.motif, args.delta, args.phi)
     except ValueError as exc:
@@ -202,10 +263,39 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     else:
         source = args.edges
 
-    detector = StreamingDetector(motif, mode=args.mode)
+    if args.resume:
+        try:
+            with open(args.resume, "r", encoding="utf-8") as handle:
+                detector = StreamingDetector.restore(json.load(handle))
+        except (OSError, ValueError, CheckpointError) as exc:
+            print(f"error: cannot resume from {args.resume}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"[stream] resumed from {args.resume} "
+            f"(watermark {detector.watermark}, "
+            f"{detector.emitted_count} already emitted)",
+            file=sys.stderr,
+        )
+    else:
+        detector = StreamingDetector(
+            motif,
+            mode=args.mode,
+            slack=args.slack,
+            late="raise" if strict else "drop",
+        )
     emitted = 0
     events = 0
     pending = 0
+    quarantined = 0
+
+    def quarantine(line_number: int, message: str, _raw: str) -> None:
+        nonlocal quarantined
+        quarantined += 1
+        if quarantined <= 5:  # don't flood stderr on a corrupt file
+            print(
+                f"[stream] quarantined line {line_number}: {message}",
+                file=sys.stderr,
+            )
 
     def drain(batch) -> None:
         nonlocal emitted
@@ -213,28 +303,53 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             print(json.dumps(instance.as_dict()), flush=True)
             emitted += 1
 
+    def finish(flush: bool) -> None:
+        """End of this run: flush everything, or poll + persist state."""
+        if args.checkpoint:
+            drain(detector.poll())
+            _write_checkpoint(detector, args.checkpoint)
+            print(f"[stream] checkpoint written to {args.checkpoint}", file=sys.stderr)
+        elif flush:
+            drain(detector.flush())
+        else:
+            drain(detector.poll())
+
+    exit_code = 0
     try:
-        for it in graph_io.iter_csv_interactions(source, on_error=args.on_error):
+        for it in graph_io.iter_csv_interactions(
+            source,
+            on_error="raise" if strict else "skip",
+            error_sink=None if strict else quarantine,
+        ):
             try:
-                detector.add(it.src, it.dst, it.time, it.flow)
+                accepted = detector.add(it.src, it.dst, it.time, it.flow)
             except ValueError as exc:
-                if args.on_error == "skip":
-                    continue  # e.g. out-of-order rows in a best-effort tail
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
+            if not accepted:
+                continue  # too late for the slack window; counted by the detector
             events += 1
             pending += 1
             if pending >= args.batch:
                 drain(detector.poll())
                 pending = 0
-        drain(detector.flush())
+        finish(flush=True)
     except graph_io.InteractionFormatError as exc:
-        # Malformed rows surface from the iterator itself (with
-        # --on-error raise); report them like every other stream error.
+        # Malformed rows surface from the iterator itself under --strict;
+        # report them like every other stream error.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except (OSError, EOFError) as exc:
+        # Truncated gzip, vanished file, unreadable input: keep what was
+        # ingested (poll/checkpoint, never a premature flush) and signal
+        # the failure through the exit code.
+        print(f"error: input stream failed: {exc}", file=sys.stderr)
+        finish(flush=False)
+        exit_code = 1
     except KeyboardInterrupt:
-        drain(detector.flush())
+        # Ctrl-C on a live tail: with --checkpoint the stream is expected
+        # to continue later, so persist instead of force-closing windows.
+        finish(flush=not args.checkpoint)
     except BrokenPipeError:
         # Downstream consumer (e.g. `... | head`) closed the pipe: stop
         # cleanly. Redirect stdout to devnull so interpreter shutdown
@@ -243,13 +358,20 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    extras = ""
+    if quarantined:
+        extras += f", {quarantined} malformed lines quarantined"
+    if detector.late_dropped:
+        extras += f", {detector.late_dropped} late events dropped"
+    if detector.pending_count:
+        extras += f", {detector.pending_count} events buffered ahead of watermark"
     print(
         f"[stream] {events} events, {emitted} instances emitted, "
         f"{detector.match_count} structural matches, "
-        f"{detector.rebuild_count} rebuilds",
+        f"{detector.rebuild_count} rebuilds{extras}",
         file=sys.stderr,
     )
-    return 0
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -348,10 +470,41 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     stream_parser.add_argument(
-        "--on-error", choices=["raise", "skip"], default="raise",
+        "--strict", action="store_true",
         help=(
-            "behaviour on malformed input rows; 'skip' also drops "
-            "out-of-order rows instead of aborting"
+            "abort (exit 2) on malformed lines or events later than "
+            "--slack allows, instead of quarantining/dropping them"
+        ),
+    )
+    stream_parser.add_argument(
+        "--on-error", choices=["raise", "skip"], default=None,
+        help=(
+            "deprecated: malformed lines are quarantined by default; "
+            "'raise' behaves like --strict"
+        ),
+    )
+    stream_parser.add_argument(
+        "--slack", type=float, default=0.0,
+        help=(
+            "out-of-order tolerance: events up to this many time units "
+            "behind the watermark are re-sequenced instead of refused "
+            "(default 0: require a time-ordered stream)"
+        ),
+    )
+    stream_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help=(
+            "on exit (including Ctrl-C), write the detector state to "
+            "PATH and keep open windows open instead of flushing, so a "
+            "later run can --resume exactly where this one stopped"
+        ),
+    )
+    stream_parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help=(
+            "restore the detector from a --checkpoint file before "
+            "reading input (the checkpoint's motif/δ/φ/slack/mode "
+            "override the command-line values)"
         ),
     )
     stream_parser.add_argument(

@@ -247,6 +247,43 @@ class IncrementalMatcher:
         return [state.match for state in self._states]
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def export_progress(self) -> Dict[Tuple, Tuple[float, Optional[float]]]:
+        """Per-match emission cursors, keyed by :func:`match_key`.
+
+        The key is graph-content-addressed (vertex map + edge pairs), so
+        the cursors can be re-applied to a matcher rebuilt from a restored
+        graph even though match *indices* depend on discovery order.
+        """
+        return {
+            match_key(state.match): (state.last_anchor, state.prev_lam)
+            for state in self._states
+        }
+
+    def apply_progress(
+        self, progress_by_key: Dict[Tuple, Tuple[float, Optional[float]]]
+    ) -> None:
+        """Overlay saved emission cursors onto the current match set.
+
+        Used on checkpoint restore, after the match set has been
+        re-derived from the graph: sets each match's ``last_anchor`` /
+        ``prev_lam`` and rebuilds the deadline heap and drained table so
+        the next :meth:`emit_closed` resumes instead of re-emitting.
+        Matches absent from ``progress_by_key`` keep their fresh cursors.
+        """
+        self._heap = []
+        self._drained = {}
+        for idx, state in enumerate(self._states):
+            saved = progress_by_key.get(match_key(state.match))
+            if saved is not None:
+                state.last_anchor, state.prev_lam = saved
+            if state.feasible:
+                state.drained = False
+                self._schedule(idx, state)
+
+    # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
 

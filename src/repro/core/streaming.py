@@ -42,7 +42,8 @@ sweep, so their emissions are identical by construction.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.enumeration import match_is_feasible
 from repro.core.incremental import (
@@ -75,6 +76,22 @@ class StreamingDetector:
         ``"incremental"`` (default) — per-edge maintenance, no rebuilds.
         ``"rebuild"`` — the legacy rebuild-on-poll baseline, kept for
         ablation and the streaming benchmark.
+    slack:
+        Bounded out-of-order tolerance. Events are admitted as long as
+        they are no more than ``slack`` time units behind the watermark
+        (the maximum timestamp observed); they wait in a reordering
+        buffer and are released to the matcher in time order once the
+        watermark has moved ``slack`` past them. The emission horizon is
+        correspondingly held back to ``watermark - slack``, so the
+        exactly-once guarantee and the offline-oracle equivalence are
+        unchanged — windows only finalize once no admissible event can
+        still land inside them. ``slack=0`` (default) is the strict
+        time-ordered contract with zero buffering overhead.
+    late:
+        What to do with events older than ``watermark - slack``:
+        ``"raise"`` (default) raises :class:`ValueError`; ``"drop"``
+        discards the event, counts it in ``late_dropped``, and makes
+        :meth:`add` return False.
 
     Example
     -------
@@ -97,17 +114,32 @@ class StreamingDetector:
         delta: Optional[float] = None,
         phi: Optional[float] = None,
         mode: str = "incremental",
+        slack: float = 0.0,
+        late: str = "raise",
     ) -> None:
         if mode not in ("incremental", "rebuild"):
             raise ValueError(
                 f"mode must be 'incremental' or 'rebuild', got {mode!r}"
             )
+        if slack < 0:
+            raise ValueError(f"slack must be >= 0, got {slack!r}")
+        if late not in ("raise", "drop"):
+            raise ValueError(f"late must be 'raise' or 'drop', got {late!r}")
         self.motif = motif
         self.delta = motif.delta if delta is None else delta
         self.phi = motif.phi if phi is None else phi
         self.mode = mode
+        self.slack = float(slack)
+        self.late = late
         self._graph = GrowableTimeSeriesGraph()
         self._watermark = float("-inf")
+        # Reordering buffer: a min-heap of (time, seq, src, dst, flow).
+        # The arrival sequence number breaks timestamp ties, so events
+        # with equal times are released in arrival order — exactly the
+        # order a strictly time-sorted stream would have delivered them.
+        self._pending: List[Tuple[float, int, Node, Node, float]] = []
+        self._seq = 0
+        self._late_dropped = 0
         self._rebuild_count = 0
         self._emitted = 0
         self._flushed = False
@@ -136,31 +168,84 @@ class StreamingDetector:
     # Ingestion
     # ------------------------------------------------------------------
 
-    def add(self, src: Node, dst: Node, time: float, flow: float) -> None:
-        """Ingest one interaction; timestamps must be non-decreasing."""
+    def add(self, src: Node, dst: Node, time: float, flow: float) -> bool:
+        """Ingest one interaction.
+
+        With ``slack=0`` timestamps must be non-decreasing; with a
+        positive slack an event may lag the watermark by up to ``slack``
+        and is re-sequenced through the reordering buffer. Returns True
+        when the event was admitted, False when it was older than the
+        slack allows and the ``late="drop"`` policy discarded it.
+        """
         if self._flushed:
             raise ValueError(
                 "stream already flushed; flush() finalizes every window, "
                 "so further adds would violate the exactly-once guarantee"
             )
         interaction = Interaction(src, dst, time, flow).validate()
-        if interaction.time < self._watermark:
+        frontier = self._watermark - self.slack
+        if interaction.time < frontier:
+            if self.late == "drop":
+                self._late_dropped += 1
+                return False
             raise ValueError(
                 f"out-of-order interaction at t={interaction.time} "
-                f"(watermark {self._watermark}); the stream must be "
-                f"time-ordered"
+                f"(watermark {self._watermark}, slack {self.slack}); "
+                f"the event is older than the reordering buffer can "
+                f"re-sequence"
             )
-        self._watermark = interaction.time
+        if self.slack == 0:
+            # Fast path: an admissible event is already at or past the
+            # watermark, so it can go straight to the matcher — the
+            # buffer would release it immediately anyway.
+            self._watermark = interaction.time
+            self._ingest(src, dst, interaction.time, interaction.flow)
+            return True
+        heappush(
+            self._pending,
+            (interaction.time, self._seq, src, dst, interaction.flow),
+        )
+        self._seq += 1
+        if interaction.time > self._watermark:
+            self._watermark = interaction.time
+        self._release(self._watermark - self.slack)
+        return True
+
+    def _ingest(self, src: Node, dst: Node, time: float, flow: float) -> None:
+        """Hand one (now provably in-order) event to the matcher/graph."""
         if self._matcher is not None:
-            self._matcher.add(src, dst, interaction.time, interaction.flow)
+            self._matcher.add(src, dst, time, flow)
         else:
-            self._graph.append(src, dst, interaction.time, interaction.flow)
+            self._graph.append(src, dst, time, flow)
             self._dirty = True
+
+    def _release(self, frontier: float) -> None:
+        """Drain buffered events with ``time <= frontier`` in time order.
+
+        Release order is globally non-decreasing: an admitted event's
+        timestamp is always >= the frontier at admission time, and the
+        frontier only moves forward — so nothing admitted later can sort
+        before an event already released.
+        """
+        pending = self._pending
+        while pending and pending[0][0] <= frontier:
+            time, _, src, dst, flow = heappop(pending)
+            self._ingest(src, dst, time, flow)
 
     @property
     def watermark(self) -> float:
-        """Timestamp of the latest ingested interaction."""
+        """Largest interaction timestamp observed so far."""
         return self._watermark
+
+    @property
+    def pending_count(self) -> int:
+        """Events waiting in the reordering buffer."""
+        return len(self._pending)
+
+    @property
+    def late_dropped(self) -> int:
+        """Events discarded by the ``late="drop"`` policy."""
+        return self._late_dropped
 
     @property
     def emitted_count(self) -> int:
@@ -199,6 +284,9 @@ class StreamingDetector:
             "matches": self.match_count,
             "emitted": self._emitted,
             "rebuilds": self._rebuild_count,
+            "slack": self.slack,
+            "pending": len(self._pending),
+            "late_dropped": self._late_dropped,
         }
         if self._matcher is not None:
             base["scheduled_matches"] = self._matcher.scheduled_count
@@ -248,17 +336,50 @@ class StreamingDetector:
         return instances
 
     def poll(self) -> List[MotifInstance]:
-        """Emit instances whose windows closed strictly before the
-        watermark. Call after a batch of :meth:`add` calls."""
-        return self._emit_for_horizon(self._watermark)
+        """Emit instances whose windows have provably closed.
+
+        With ``slack=0`` the horizon is the watermark itself; with a
+        positive slack it is held back to ``watermark - slack``, because
+        an event inside that margin may still arrive and extend a window.
+        Call after a batch of :meth:`add` calls.
+        """
+        return self._emit_for_horizon(self._watermark - self.slack)
 
     def flush(self) -> List[MotifInstance]:
         """End of stream: close and emit every remaining window.
 
-        Finalizes windows whose end lies beyond the watermark, so the
-        stream is over — subsequent :meth:`add` calls raise. Calling
-        flush (or poll) again is a harmless no-op.
+        Drains the reordering buffer (no more events can arrive, so
+        everything buffered is final), then finalizes windows whose end
+        lies beyond the watermark — the stream is over and subsequent
+        :meth:`add` calls raise. Calling flush (or poll) again is a
+        harmless no-op.
         """
+        self._release(float("inf"))
         result = self._emit_for_horizon(float("inf"))
         self._flushed = True
         return result
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Snapshot the full detector state as a JSON-safe dict.
+
+        Captures the graph, the per-match skip-rule cursors, the
+        reordering buffer, and any finalized-but-unreturned emissions —
+        everything needed for :meth:`restore` to continue the stream as
+        if it was never interrupted (round-trip equivalence with an
+        uninterrupted run is property-tested against the offline oracle
+        in ``tests/resilience/test_checkpoint.py``).
+        """
+        from repro.resilience.checkpoint import detector_state
+
+        return detector_state(self)
+
+    @classmethod
+    def restore(cls, state: dict) -> "StreamingDetector":
+        """Rebuild a detector from a :meth:`checkpoint` snapshot."""
+        from repro.resilience.checkpoint import restore_detector
+
+        return restore_detector(state)

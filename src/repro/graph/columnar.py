@@ -36,12 +36,18 @@ lists.
 from __future__ import annotations
 
 import json
-import struct
+import logging
+import os
 from array import array
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.graph.events import Node
 from repro.graph.timeseries import EdgeSeries, TimeSeriesGraph
+from repro.resilience import shm_registry as _shm_registry
+from repro.resilience.shm_registry import (
+    SEGMENT_HEADER as _HEADER,
+    SEGMENT_MAGIC as _MAGIC,
+)
 
 __all__ = [
     "ColumnarEdgeSeries",
@@ -51,9 +57,12 @@ __all__ = [
     "supports_columnar",
 ]
 
-#: Shared-memory header: magic, format version, JSON metadata byte length.
-_MAGIC = b"FMCOLSTO"
-_HEADER = struct.Struct("<8sQQ")
+LOG = logging.getLogger("repro.graph.columnar")
+
+#: Shared-memory header layout (magic, format version, JSON metadata byte
+#: length) is canonically defined in :mod:`repro.resilience.shm_registry`
+#: so the orphan scanner can recognize segments without importing this
+#: module; imported above as ``_MAGIC``/``_HEADER``.
 _ALIGN = 8
 
 
@@ -196,6 +205,8 @@ class ColumnStore:
         }
         self._shm = shm
         self._owns_shm = owns_shm
+        #: Pid of the exporting process (set on attach; None otherwise).
+        self.creator_pid: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -333,6 +344,9 @@ class ColumnStore:
         meta = {
             "num_series": self.num_series,
             "num_events": self.num_events,
+            # Creator pid: lets attachers and the orphan scanner detect
+            # segments whose exporting process died without unlinking.
+            "pid": os.getpid(),
             "pairs": [[src, dst] for src, dst in self.pairs],
         }
         return json.dumps(meta, separators=(",", ":")).encode("utf-8")
@@ -362,10 +376,14 @@ class ColumnStore:
         times_v[:] = self.times
         flows_v[:] = self.flows
         cum_v[:] = self.cum
-        return ColumnStore(
+        store = ColumnStore(
             list(self.pairs), times_v, flows_v, cum_v, offsets_v,
             shm=shm, owns_shm=True,
         )
+        # Crash-safe lifecycle: the registry's atexit/SIGTERM hooks unlink
+        # this segment if the process dies before close(unlink=True).
+        _shm_registry.register(store)
+        return store
 
     @classmethod
     def attach(cls, name: str) -> "ColumnStore":
@@ -396,9 +414,27 @@ class ColumnStore:
         offsets_v, times_v, flows_v, cum_v = _carve(
             buf, meta_len, num_series, num_events
         )
-        return cls(
+        store = cls(
             pairs, times_v, flows_v, cum_v, offsets_v, shm=shm, owns_shm=False
         )
+        creator_pid = meta.get("pid")
+        store.creator_pid = (
+            creator_pid if isinstance(creator_pid, int) else None
+        )
+        if store.creator_pid is not None and not _shm_registry.pid_alive(
+            store.creator_pid
+        ):
+            # Orphan: the exporter died without unlinking. The data is
+            # still perfectly readable (attach proceeds), but nobody will
+            # clean the segment up — flag it so operators can
+            # reap_orphans() instead of leaking /dev/shm until reboot.
+            LOG.warning(
+                "attached orphaned shm segment %r: creator pid %d is dead; "
+                "repro.resilience.reap_orphans() can reclaim it",
+                name,
+                store.creator_pid,
+            )
+        return store
 
     def close(self, unlink: bool = False) -> None:
         """Release buffer views and the shared-memory mapping.
@@ -418,6 +454,10 @@ class ColumnStore:
             setattr(self, attr, None)
         if self._shm is not None:
             shm, self._shm = self._shm, None
+            if self._owns_shm:
+                # Deliberate close: the crash-cleanup registry must not
+                # unlink this name again (it could have been reused).
+                _shm_registry.unregister(shm.name)
             if unlink and hasattr(shm, "unlink"):
                 try:
                     shm.unlink()

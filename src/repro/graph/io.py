@@ -21,7 +21,7 @@ from __future__ import annotations
 import gzip
 import json
 import os
-from typing import Iterator, Optional, TextIO, Union
+from typing import Callable, Iterator, Optional, TextIO, Union
 
 from repro.graph.events import Interaction
 from repro.graph.interaction import InteractionGraph
@@ -73,6 +73,7 @@ def iter_csv_interactions(
     path_or_file: PathOrFile,
     delimiter: Optional[str] = None,
     on_error: str = "raise",
+    error_sink: Optional[Callable[[int, str, str], None]] = None,
 ) -> Iterator[Interaction]:
     """Yield interactions from a delimited text file.
 
@@ -85,7 +86,12 @@ def iter_csv_interactions(
         Field separator; sniffed from the first line when omitted.
     on_error:
         ``"raise"`` (default) aborts on the first malformed record;
-        ``"skip"`` silently drops malformed records.
+        ``"skip"`` drops malformed records (quarantine).
+    error_sink:
+        Optional ``(line_number, message, raw_line)`` callback invoked for
+        every record dropped by ``on_error="skip"`` — the CLI uses it to
+        count and report quarantined lines instead of dropping them
+        silently.
     """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
@@ -96,7 +102,16 @@ def iter_csv_interactions(
             if not line or line.startswith("#"):
                 continue
             if delimiter is None:
-                delimiter = _sniff_delimiter(line)
+                try:
+                    delimiter = _sniff_delimiter(line)
+                except InteractionFormatError as exc:
+                    if on_error == "skip":
+                        # A one-field garbage line must not abort the
+                        # stream before the delimiter is even known.
+                        if error_sink is not None:
+                            error_sink(line_number, str(exc), line)
+                        continue
+                    raise
             fields = [f for f in line.split(delimiter) if f != ""]
             if line_number == 1 and fields and fields[0].lower() in _HEADER_NAMES:
                 continue  # header row
@@ -111,6 +126,8 @@ def iter_csv_interactions(
                 ).validate()
             except ValueError as exc:
                 if on_error == "skip":
+                    if error_sink is not None:
+                        error_sink(line_number, str(exc), line)
                     continue
                 raise InteractionFormatError(str(exc), line_number) from exc
             yield interaction
@@ -154,9 +171,16 @@ def write_csv(
 
 
 def iter_jsonl_interactions(
-    path_or_file: PathOrFile, on_error: str = "raise"
+    path_or_file: PathOrFile,
+    on_error: str = "raise",
+    error_sink: Optional[Callable[[int, str, str], None]] = None,
 ) -> Iterator[Interaction]:
-    """Yield interactions from a JSON-lines file."""
+    """Yield interactions from a JSON-lines file.
+
+    ``error_sink`` mirrors :func:`iter_csv_interactions`: called with
+    ``(line_number, message, raw_line)`` for records dropped by
+    ``on_error="skip"``.
+    """
     if on_error not in ("raise", "skip"):
         raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     handle, needs_close = _open_maybe(path_or_file, "r")
@@ -175,6 +199,8 @@ def iter_jsonl_interactions(
                 ).validate()
             except (ValueError, KeyError, TypeError) as exc:
                 if on_error == "skip":
+                    if error_sink is not None:
+                        error_sink(line_number, str(exc), line)
                     continue
                 raise InteractionFormatError(str(exc), line_number) from exc
             yield interaction

@@ -40,8 +40,11 @@ reproducible without pool nondeterminism.
 
 from __future__ import annotations
 
+import logging
 import os
+import time as _time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.engine import SearchResult
@@ -57,9 +60,26 @@ from repro.parallel.partition import (
     materialize_shard,
     partition_time_range,
 )
+from repro.resilience.retry import (
+    DispatchReport,
+    RetryPolicy,
+    ShardExecutionError,
+    ShardTimeoutError,
+)
 from repro.utils.timing import Timer
 
+LOG = logging.getLogger("repro.parallel.engine")
+
 _BACKENDS = ("process", "thread", "serial")
+
+#: Graceful-degradation order: when a backend exhausts its retries, the
+#: dispatcher falls through to the next entry — ending at "serial", which
+#: shares the caller's process and therefore cannot lose workers.
+_DEGRADATION_CHAIN = {
+    "process": ("process", "thread", "serial"),
+    "thread": ("thread", "serial"),
+    "serial": ("serial",),
+}
 
 #: Partitions retained per engine. Each partition holds sliced copies of
 #: the graph's event arrays, so the memo is a small LRU rather than
@@ -94,6 +114,16 @@ class ParallelFlowMotifEngine:
         True). Disable to fall back to pickled shard slices, e.g. on
         platforms without POSIX shared memory. Graphs whose node ids are
         not ``int``/``str`` fall back automatically.
+    retry_policy:
+        Fault-tolerance knobs for shard dispatch (see
+        :class:`repro.resilience.RetryPolicy`): per-round shard timeout,
+        bounded retries with deterministic backoff, and whether the
+        engine may degrade ``process → thread → serial`` when a backend
+        keeps failing. The default policy retries twice per backend and
+        degrades; shard tasks are pure functions of their payload, so a
+        retried or degraded dispatch merges to output identical to an
+        undisturbed run. The :attr:`last_dispatch` report records what
+        happened.
 
     Notes
     -----
@@ -115,6 +145,7 @@ class ParallelFlowMotifEngine:
         backend: str = "process",
         partition_strategy: str = "events",
         use_shared_memory: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if isinstance(graph, InteractionGraph):
             self._ts = graph.to_time_series()
@@ -145,6 +176,11 @@ class ParallelFlowMotifEngine:
         self._export_owned = False
         self._partition_cache: dict = {}
         self._sorted_times: Optional[List[float]] = None
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        #: Fault/retry/degradation report of the most recent dispatch.
+        self.last_dispatch: Optional[DispatchReport] = None
 
     @property
     def time_series_graph(self) -> TimeSeriesGraph:
@@ -229,7 +265,15 @@ class ParallelFlowMotifEngine:
             try:
                 export.close(unlink=True)
             except BufferError:
-                pass  # a view outlives us; the OS reclaims at process exit
+                # A live view pins the mapping, but close(unlink=True)
+                # unlinks the name *before* closing, so the segment is
+                # already gone from the system; only our mapping lingers
+                # until the views die. Logged, not raised: callers
+                # closing an engine should not crash on a borrowed view.
+                LOG.debug(
+                    "shm export %s unlinked but still mapped by live views",
+                    getattr(export, "shm_name", "<unknown>"),
+                )
 
     def __enter__(self) -> "ParallelFlowMotifEngine":
         return self
@@ -240,8 +284,21 @@ class ParallelFlowMotifEngine:
     def __del__(self) -> None:
         try:
             self.close()
-        except Exception:
-            pass
+        except BaseException as exc:  # noqa: BLE001 - __del__ must not raise
+            # A leaked shared-memory export is exactly the failure the
+            # resilience layer exists to catch, so classify and log it
+            # instead of swallowing it; raising from __del__ would only
+            # produce an unraisable-exception warning anyway. The
+            # registry's atexit hook still reclaims the segment.
+            try:
+                LOG.warning(
+                    "failed to release engine resources in __del__ "
+                    "(%s: %s); shm cleanup deferred to the exit hooks",
+                    type(exc).__name__,
+                    exc,
+                )
+            except Exception:
+                pass  # logging machinery itself torn down at interpreter exit
 
     def _shard_tasks(
         self, shards: Sequence[TimeShard], kind: str, *args
@@ -289,15 +346,130 @@ class ParallelFlowMotifEngine:
         return [(kind, shard) + args for shard in shards]
 
     def _dispatch(self, tasks: Sequence[Tuple]) -> List:
-        """Run shard tasks on the configured backend, preserving order."""
+        """Run shard tasks on the configured backend, preserving order.
+
+        Fault-tolerant: failed or timed-out shards are retried per
+        :attr:`retry_policy` (fresh pool each round — a ``BrokenExecutor``
+        poisons its pool), and when a backend exhausts its retries the
+        dispatcher degrades along ``process → thread → serial``. Shard
+        tasks are pure, so a shard that succeeds on any round/backend
+        contributes exactly the output it would have produced first try,
+        and the merge stays identical to serial. Every failure is
+        classified and logged into :attr:`last_dispatch`; if even the
+        serial step cannot complete a shard (or degradation is disabled),
+        :class:`~repro.resilience.ShardExecutionError` surfaces the whole
+        fault history.
+        """
+        report = DispatchReport(backend=self.backend, final_backend=self.backend)
+        self.last_dispatch = report
         if self.jobs == 1 or self.backend == "serial" or len(tasks) <= 1:
+            report.backend = report.final_backend = "serial"
             return [_worker.run_shard_task(task) for task in tasks]
-        pool_cls = (
-            ProcessPoolExecutor if self.backend == "process" else ThreadPoolExecutor
+        policy = self.retry_policy
+        results: List = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        chain = _DEGRADATION_CHAIN[self.backend]
+        for step, backend in enumerate(chain):
+            report.final_backend = backend
+            if step > 0:
+                report.degradations.append(backend)
+                LOG.warning(
+                    "degrading dispatch to %r backend (%d shard(s) "
+                    "unresolved after %s)",
+                    backend,
+                    len(pending),
+                    report.faults[-1] if report.faults else "failures",
+                )
+            for round_no in range(policy.max_retries + 1):
+                if round_no > 0:
+                    report.retry_rounds += 1
+                    _time.sleep(policy.delay_for(round_no - 1, token=step))
+                pending = self._run_round(
+                    tasks, results, pending, backend, round_no, report
+                )
+                if not pending:
+                    return results
+            if not policy.degrade:
+                break
+        raise ShardExecutionError(
+            f"shards {pending} failed on every backend "
+            f"({' -> '.join(chain if policy.degrade else chain[:1])}) "
+            f"after {policy.max_retries} retries each; fault history: "
+            f"{'; '.join(str(f) for f in report.faults)}",
+            faults=report.faults,
         )
-        workers = min(self.jobs, len(tasks))
-        with pool_cls(max_workers=workers) as pool:
-            return list(pool.map(_worker.run_shard_task, tasks))
+
+    def _run_round(
+        self,
+        tasks: Sequence[Tuple],
+        results: List,
+        pending: List[int],
+        backend: str,
+        round_no: int,
+        report: DispatchReport,
+    ) -> List[int]:
+        """One dispatch round over the still-pending shards.
+
+        Fills ``results`` in place and returns the shard indices that
+        failed this round (classified and recorded on the way).
+        """
+        if backend == "serial":
+            failed: List[int] = []
+            for index in pending:
+                try:
+                    results[index] = _worker.run_shard_task(tasks[index])
+                except Exception as exc:
+                    report.record(index, backend, round_no, exc)
+                    failed.append(index)
+            return failed
+        pool_cls = (
+            ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+        )
+        workers = min(self.jobs, len(pending))
+        policy = self.retry_policy
+        deadline = (
+            _time.monotonic() + policy.timeout
+            if policy.timeout is not None
+            else None
+        )
+        failed = []
+        pool = pool_cls(max_workers=workers)
+        try:
+            futures = {
+                index: pool.submit(_worker.run_shard_task, tasks[index])
+                for index in pending
+            }
+            for index, future in futures.items():
+                try:
+                    if deadline is None:
+                        results[index] = future.result()
+                    else:
+                        remaining = deadline - _time.monotonic()
+                        if remaining <= 0:
+                            raise ShardTimeoutError(
+                                f"shard {index} unfinished at the round's "
+                                f"{policy.timeout}s deadline"
+                            )
+                        results[index] = future.result(timeout=remaining)
+                except FuturesTimeoutError:
+                    report.record(
+                        index,
+                        backend,
+                        round_no,
+                        ShardTimeoutError(
+                            f"shard {index} unfinished at the round's "
+                            f"{policy.timeout}s deadline"
+                        ),
+                    )
+                    failed.append(index)
+                except Exception as exc:
+                    report.record(index, backend, round_no, exc)
+                    failed.append(index)
+        finally:
+            # Fresh pool per round: don't wait on stragglers from a
+            # timed-out round, and never reuse a possibly-broken pool.
+            pool.shutdown(wait=False, cancel_futures=True)
+        return failed
 
     # ------------------------------------------------------------------
     # FlowMotifEngine-mirroring entry points

@@ -43,6 +43,7 @@ from repro.core.motif import Motif
 from repro.graph.columnar import ColumnStore
 from repro.graph.events import Node
 from repro.graph.timeseries import TimeSeriesGraph
+from repro.resilience import faultinject as _faultinject
 from repro.parallel.partition import TimeShard, materialize_shard
 from repro.utils.timing import Timer
 
@@ -292,6 +293,11 @@ def run_shard_task(task: Tuple) -> object:
         shm_name, bounds, inner_kind = args[0], args[1], args[2]
         shard = materialize_shard(_attached_graph(shm_name), bounds)
         return run_shard_task((inner_kind, shard) + tuple(args[3:]))
+    # Chaos hook: a no-op dict lookup unless a fault plan is armed in the
+    # environment (tests/resilience). Placed on the unwrapped path so a
+    # columnar-enveloped task is subject to exactly one injection.
+    if kind in ("search", "count", "top_k", "batch"):
+        _faultinject.maybe_inject(args[0].index, kind)
     if kind == "search":
         return search_shard(*args)
     if kind == "count":

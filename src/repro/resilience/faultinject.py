@@ -1,0 +1,294 @@
+"""Deterministic fault injection for chaos testing the execution layer.
+
+Two families of faults:
+
+**Shard faults** target the parallel engine's worker tasks. A
+:class:`FaultPlan` (a list of :class:`FaultSpec`) is serialized into the
+``REPRO_FAULT_PLAN`` environment variable by the :func:`inject` context
+manager; :func:`maybe_inject` — called by
+:func:`repro.parallel.worker.run_shard_task` at the top of every shard
+task, in whatever process it runs — matches the current (shard, task kind)
+against the plan and fires the configured fault:
+
+``"kill"``   ``os._exit`` the worker process mid-shard (downgraded to a
+             raised :class:`InjectedFault` when running in the process
+             that armed the plan, so serial fallbacks never kill the
+             test/driver process itself).
+``"raise"``  raise :class:`InjectedFault` from inside the task.
+``"delay"``  sleep ``delay`` seconds before running the task — the tool
+             for exercising shard timeouts.
+
+Each spec fires for the first ``times`` matching *attempts per shard*,
+counted across processes via atomic ``O_CREAT | O_EXCL`` marker files in
+the plan's state directory — retry round ``times`` then succeeds, which is
+exactly the transient-fault shape retries exist for. ``only_workers=True``
+(default) restricts faults to pool worker processes; set it ``False`` to
+also fault inline/serial execution and test error surfacing.
+
+**Stream faults** perturb event streams for the streaming/checkpoint chaos
+tests: :func:`drop_events`, :func:`duplicate_events`,
+:func:`reorder_within_slack` (every event is displaced by at most
+``slack`` time units — the exact disorder the detector's reorder buffer
+must absorb), and :func:`corrupt_lines` for malformed-input handling. All
+take an explicit ``random.Random`` so test failures replay exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time as _time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+#: Exit status used by the "kill" fault, distinctive in worker postmortems.
+KILL_EXIT_CODE = 86
+
+T = TypeVar("T")
+
+
+class InjectedFault(RuntimeError):
+    """Raised (or exited with) by an armed fault — never by real code."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: what to do, where, and how many times.
+
+    Attributes
+    ----------
+    kind:
+        ``"kill"``, ``"raise"`` or ``"delay"``.
+    shards:
+        Shard indices the rule applies to (``None`` = every shard).
+    task_kinds:
+        Inner task kinds (``"search"``, ``"count"``, ``"top_k"``,
+        ``"batch"``) the rule applies to (``None`` = all).
+    times:
+        Fire for the first this-many matching attempts per shard;
+        afterwards the shard runs clean. ``times=10**9`` approximates a
+        permanent fault.
+    delay:
+        Sleep duration for ``kind="delay"``.
+    only_workers:
+        Restrict the fault to processes other than the one that armed the
+        plan (i.e. pool workers). Keeps ``"kill"`` from terminating the
+        driver when the engine degrades to thread/serial execution.
+    """
+
+    kind: str
+    shards: Optional[Tuple[int, ...]] = None
+    task_kinds: Optional[Tuple[str, ...]] = None
+    times: int = 1
+    delay: float = 0.0
+    only_workers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("kill", "raise", "delay"):
+            raise ValueError(
+                f"fault kind must be kill/raise/delay, got {self.kind!r}"
+            )
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+
+    def matches(self, shard_index: int, task_kind: str) -> bool:
+        if self.shards is not None and shard_index not in self.shards:
+            return False
+        if self.task_kinds is not None and task_kind not in self.task_kinds:
+            return False
+        return True
+
+
+class FaultPlan:
+    """A set of :class:`FaultSpec` plus the cross-process attempt state."""
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec],
+        state_dir: str,
+        owner_pid: Optional[int] = None,
+    ) -> None:
+        self.specs = tuple(specs)
+        self.state_dir = state_dir
+        self.owner_pid = os.getpid() if owner_pid is None else owner_pid
+
+    # -- env-var transport -------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "owner_pid": self.owner_pid,
+                "state_dir": self.state_dir,
+                "specs": [asdict(spec) for spec in self.specs],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultPlan":
+        data = json.loads(payload)
+        specs = []
+        for raw in data["specs"]:
+            raw = dict(raw)
+            for key in ("shards", "task_kinds"):
+                if raw.get(key) is not None:
+                    raw[key] = tuple(raw[key])
+            specs.append(FaultSpec(**raw))
+        return cls(specs, data["state_dir"], owner_pid=data["owner_pid"])
+
+    # -- firing ------------------------------------------------------------
+
+    def _claim_attempt(self, spec_index: int, shard_index: int) -> int:
+        """Atomically claim the next attempt number for (spec, shard).
+
+        ``O_CREAT | O_EXCL`` marker files make the counter race-free
+        across pool worker processes without locks or shared state.
+        """
+        n = 0
+        while True:
+            path = os.path.join(
+                self.state_dir, f"spec{spec_index}-shard{shard_index}.{n}"
+            )
+            try:
+                os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return n
+            except FileExistsError:
+                n += 1
+
+    def fire(self, shard_index: int, task_kind: str) -> None:
+        """Inject whatever the plan prescribes for this (shard, kind)."""
+        in_owner = os.getpid() == self.owner_pid
+        for spec_index, spec in enumerate(self.specs):
+            if not spec.matches(shard_index, task_kind):
+                continue
+            if spec.only_workers and in_owner:
+                continue
+            attempt = self._claim_attempt(spec_index, shard_index)
+            if attempt >= spec.times:
+                continue
+            if spec.kind == "delay":
+                _time.sleep(spec.delay)
+                continue
+            if spec.kind == "kill" and not in_owner:
+                os._exit(KILL_EXIT_CODE)
+            raise InjectedFault(
+                f"injected {spec.kind} fault on shard {shard_index} "
+                f"({task_kind}, attempt {attempt})"
+            )
+
+
+def maybe_inject(shard_index: int, task_kind: str) -> None:
+    """Worker-side hook: fire the environment's fault plan, if any.
+
+    Costs one dict lookup when no plan is armed — safe to leave in the
+    production task path.
+    """
+    payload = os.environ.get(ENV_VAR)
+    if not payload:
+        return
+    FaultPlan.from_json(payload).fire(shard_index, task_kind)
+
+
+@contextmanager
+def inject(
+    *specs: FaultSpec, state_dir: Optional[str] = None
+) -> Iterator[FaultPlan]:
+    """Arm a fault plan for the duration of a ``with`` block.
+
+    The plan travels to pool workers through the environment (inherited on
+    fork/spawn at pool creation, which happens per dispatch round — after
+    this context is entered). A temporary state directory is created (and
+    removed) when none is given.
+    """
+    owned_tmp = None
+    if state_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-faults-")
+        state_dir = owned_tmp.name
+    plan = FaultPlan(specs, state_dir)
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = plan.to_json()
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+
+
+# ----------------------------------------------------------------------
+# Stream perturbations
+# ----------------------------------------------------------------------
+
+
+def drop_events(events: Sequence[T], rate: float, rng) -> List[T]:
+    """Drop each event independently with probability ``rate``."""
+    return [event for event in events if rng.random() >= rate]
+
+
+def duplicate_events(events: Sequence[T], rate: float, rng) -> List[T]:
+    """Duplicate each event (immediately after itself) with probability
+    ``rate`` — same timestamp, so time order is preserved."""
+    out: List[T] = []
+    for event in events:
+        out.append(event)
+        if rng.random() < rate:
+            out.append(event)
+    return out
+
+
+def reorder_within_slack(
+    events: Sequence[T], slack: float, rng, time_of=None
+) -> List[T]:
+    """Shuffle a time-ordered stream so no event is late by more than
+    ``slack``.
+
+    Each event is re-sorted by ``t + U(0, slack)``: an event at time ``t``
+    can land after neighbours up to ``t + slack``, so the watermark when it
+    arrives is at most ``t + slack`` — lateness ≤ ``slack``, the exact
+    contract of the detector's reorder buffer. ``time_of`` extracts the
+    timestamp (default: index 2 of a ``(src, dst, time, flow)`` tuple).
+    """
+    if time_of is None:
+        time_of = lambda event: event[2]  # noqa: E731 - tiny accessor
+    keyed = [
+        (time_of(event) + rng.uniform(0.0, slack), index, event)
+        for index, event in enumerate(events)
+    ]
+    keyed.sort(key=lambda item: (item[0], item[1]))
+    return [event for _, _, event in keyed]
+
+
+_CORRUPTIONS = ("truncate", "garbage-field", "missing-field", "binary-noise")
+
+
+def corrupt_lines(lines: Sequence[str], rate: float, rng) -> Tuple[List[str], int]:
+    """Corrupt each CSV line with probability ``rate``.
+
+    Returns ``(lines, corrupted_count)``; corruption modes cover the
+    malformed shapes the CLI quarantine must absorb: truncated lines,
+    non-numeric fields, missing fields, and binary noise.
+    """
+    out: List[str] = []
+    corrupted = 0
+    for line in lines:
+        if rng.random() >= rate:
+            out.append(line)
+            continue
+        corrupted += 1
+        mode = _CORRUPTIONS[rng.randrange(len(_CORRUPTIONS))]
+        if mode == "truncate":
+            out.append(line[: max(1, len(line) // 2)])
+        elif mode == "garbage-field":
+            fields = line.split(",")
+            fields[-1] = "not-a-number"
+            out.append(",".join(fields))
+        elif mode == "missing-field":
+            out.append(",".join(line.split(",")[:-1]))
+        else:
+            out.append("\x00\xff garbage \x00")
+    return out, corrupted

@@ -145,14 +145,25 @@ class TestStreamCommand:
         assert len(records) == 1  # a->b->c completed by the late rows
         assert records[0]["flow"] == 4.0
 
-    def test_stream_out_of_order_raises_by_default(self, tmp_path, capsys):
+    def test_stream_out_of_order_dropped_by_default(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,5,1\na,b,4,1\nz,w,50,1\n")
+        code = main(["stream", str(path), "--motif", "0-1", "--delta", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "2 events" in captured.err  # the t=4 row was dropped
+        assert "1 late events dropped" in captured.err
+
+    def test_stream_out_of_order_raises_under_strict(self, tmp_path, capsys):
         path = tmp_path / "bad.csv"
         path.write_text("a,b,5,1\na,b,4,1\n")
-        code = main(["stream", str(path), "--motif", "0-1", "--delta", "2"])
+        code = main(
+            ["stream", str(path), "--motif", "0-1", "--delta", "2", "--strict"]
+        )
         assert code == 2
         assert "out-of-order" in capsys.readouterr().err
 
-    def test_stream_out_of_order_skipped_on_request(self, tmp_path, capsys):
+    def test_stream_on_error_skip_is_deprecated_alias(self, tmp_path, capsys):
         path = tmp_path / "bad.csv"
         path.write_text("a,b,5,1\na,b,4,1\nz,w,50,1\n")
         code = main(
@@ -162,15 +173,139 @@ class TestStreamCommand:
         assert code == 0
         captured = capsys.readouterr()
         assert "2 events" in captured.err  # the t=4 row was dropped
+        assert "deprecated" in captured.err
 
     def test_stream_follow_rejects_stdin(self, capsys):
         code = main(["stream", "-", "--follow", "--motif", "0-1", "--delta", "2"])
         assert code == 2
         assert "follow" in capsys.readouterr().err
 
-    def test_stream_malformed_row_reports_error(self, tmp_path, capsys):
+    def test_stream_malformed_row_quarantined_by_default(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,1,notaflow\na,b,2,1\nb,c,3,1\n")
+        code = main(["stream", str(path), "--motif", "0-1", "--delta", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "quarantined line 1" in captured.err
+        assert "1 malformed lines quarantined" in captured.err
+        assert len(captured.out.splitlines()) == 2  # both clean edges matched
+
+    def test_stream_malformed_row_aborts_under_strict(self, tmp_path, capsys):
         path = tmp_path / "bad.csv"
         path.write_text("a,b,1,notaflow\n")
-        code = main(["stream", str(path), "--motif", "0-1", "--delta", "2"])
+        code = main(
+            ["stream", str(path), "--motif", "0-1", "--delta", "2", "--strict"]
+        )
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestStreamResilience:
+    """Error paths and durability features of the stream command."""
+
+    def test_stream_truncated_gzip_reports_stream_failure(
+        self, tmp_path, capsys
+    ):
+        import gzip
+
+        path = tmp_path / "edges.csv.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("a,b,1,5\nb,c,2,5\n" * 200)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])  # cut the gzip stream
+        code = main(["stream", str(path), "--motif", "0-1", "--delta", "2"])
+        assert code == 1
+        assert "input stream failed" in capsys.readouterr().err
+
+    def test_stream_follow_survives_disappearing_file(self, tmp_path, capsys):
+        """tail -F semantics: deletion followed by recreation must not
+        kill the stream — rows from the new file generation are read."""
+        import os
+        import threading
+        import time
+
+        path = tmp_path / "live.csv"
+        path.write_text("a,b,1,5\n")
+
+        def rotate():
+            time.sleep(0.3)
+            os.remove(path)
+            time.sleep(0.3)
+            path.write_text("b,c,3,4\nz,w,50,1\n")
+
+        rotator = threading.Thread(target=rotate)
+        rotator.start()
+        code = main(
+            ["stream", str(path), "--follow", "--interval", "0.05",
+             "--max-idle", "1.0", "--motif", "0-1-2", "--delta", "10"]
+        )
+        rotator.join()
+        assert code == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 1  # a->b->c completed across the rotation
+        assert records[0]["flow"] == 4.0
+
+    def test_stream_slack_recovers_late_event(self, tmp_path, capsys):
+        path = tmp_path / "ooo.csv"
+        path.write_text("a,b,1,5\nb,c,4,5\na,b,3,5\nb,c,6,5\n")
+        code = main(
+            ["stream", str(path), "--motif", "0-1-2", "--delta", "10",
+             "--slack", "2"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 1
+        assert records[0]["flow"] == 10.0  # the t=3 event was re-sequenced
+        assert "late events dropped" not in captured.err
+
+    def test_stream_checkpoint_resume_equals_uninterrupted(
+        self, tmp_path, capsys
+    ):
+        whole = "a,b,1,5\nb,c,2,5\na,b,3,5\nb,c,4,5\na,b,5,5\nb,c,6,5\n"
+        (tmp_path / "whole.csv").write_text(whole)
+        (tmp_path / "part1.csv").write_text(whole[: len(whole) // 2])
+        (tmp_path / "part2.csv").write_text(whole[len(whole) // 2 :])
+        ck = tmp_path / "state.json"
+
+        assert main(
+            ["stream", str(tmp_path / "whole.csv"), "--motif", "0-1-2",
+             "--delta", "10"]
+        ) == 0
+        expected = sorted(capsys.readouterr().out.splitlines())
+
+        assert main(
+            ["stream", str(tmp_path / "part1.csv"), "--motif", "0-1-2",
+             "--delta", "10", "--checkpoint", str(ck)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert ck.exists()
+        assert "checkpoint" in captured.err
+        out = captured.out.splitlines()
+
+        assert main(
+            ["stream", str(tmp_path / "part2.csv"), "--motif", "0-1-2",
+             "--delta", "10", "--resume", str(ck)]
+        ) == 0
+        out += capsys.readouterr().out.splitlines()
+        assert sorted(out) == expected
+
+    def test_stream_resume_rejects_garbage_checkpoint(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"not\": \"a checkpoint\"}")
+        (tmp_path / "in.csv").write_text("a,b,1,5\n")
+        code = main(
+            ["stream", str(tmp_path / "in.csv"), "--motif", "0-1",
+             "--delta", "2", "--resume", str(bad)]
+        )
+        assert code == 2
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_stream_resume_rejects_missing_checkpoint(self, tmp_path, capsys):
+        (tmp_path / "in.csv").write_text("a,b,1,5\n")
+        code = main(
+            ["stream", str(tmp_path / "in.csv"), "--motif", "0-1",
+             "--delta", "2", "--resume", str(tmp_path / "nope.json")]
+        )
+        assert code == 2

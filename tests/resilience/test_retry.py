@@ -1,0 +1,116 @@
+"""Unit tests for retry policies and failure classification."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+from repro.resilience import (
+    DispatchReport,
+    RetryPolicy,
+    ShardTimeoutError,
+    classify_error,
+)
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.degrade is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"base_delay": -0.1},
+            {"max_delay": -1.0},
+            {"backoff_factor": 0.5},
+            {"jitter": -0.01},
+            {"jitter": 1.5},
+            {"timeout": 0.0},
+            {"timeout": -3.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_frozen(self):
+        policy = RetryPolicy()
+        with pytest.raises(Exception):
+            policy.max_retries = 5
+
+
+class TestDelaySchedule:
+    def test_deterministic_across_instances(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        for attempt in range(5):
+            assert a.delay_for(attempt) == b.delay_for(attempt)
+
+    def test_seed_changes_jitter(self):
+        a = RetryPolicy(seed=1, jitter=0.5)
+        b = RetryPolicy(seed=2, jitter=0.5)
+        assert a.delay_for(0) != b.delay_for(0)
+
+    def test_token_changes_jitter(self):
+        policy = RetryPolicy(jitter=0.5)
+        assert policy.delay_for(0, token=0) != policy.delay_for(0, token=1)
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            base_delay=0.1, backoff_factor=2.0, max_delay=100.0, jitter=0.0
+        )
+        assert policy.delay_for(0) == pytest.approx(0.1)
+        assert policy.delay_for(1) == pytest.approx(0.2)
+        assert policy.delay_for(3) == pytest.approx(0.8)
+
+    def test_capped_at_max_delay(self):
+        policy = RetryPolicy(
+            base_delay=1.0, backoff_factor=10.0, max_delay=2.5, jitter=0.0
+        )
+        assert policy.delay_for(5) == 2.5
+
+    def test_jitter_bounded_by_fraction(self):
+        policy = RetryPolicy(
+            base_delay=1.0, backoff_factor=1.0, max_delay=1.0, jitter=0.25
+        )
+        for attempt in range(20):
+            delay = policy.delay_for(attempt)
+            assert 1.0 <= delay <= 1.25
+
+
+class TestClassifyError:
+    @pytest.mark.parametrize(
+        "exc,expected",
+        [
+            (FuturesTimeoutError(), "timeout"),
+            (ShardTimeoutError("late"), "timeout"),
+            (TimeoutError(), "timeout"),
+            (BrokenExecutor("pool died"), "worker-crash"),
+            (pickle.PicklingError("nope"), "serialization"),
+            (FileNotFoundError("/psm_gone"), "shared-memory"),
+            (OSError("cannot map shared memory segment"), "shared-memory"),
+            (ValueError("shared memory truncated"), "shared-memory"),
+            (RuntimeError("boom"), "task-error"),
+            (ValueError("bad motif"), "task-error"),
+        ],
+    )
+    def test_categories(self, exc, expected):
+        assert classify_error(exc) == expected
+
+
+class TestDispatchReport:
+    def test_record_classifies_and_retains(self):
+        report = DispatchReport(backend="process", final_backend="process")
+        event = report.record(3, "process", 1, RuntimeError("boom"))
+        assert event.category == "task-error"
+        assert event.shard_index == 3
+        assert report.fault_categories == ("task-error",)
+        assert "shard 3" in str(event)
+        assert "boom" in str(event)

@@ -1,0 +1,177 @@
+"""Crash-safe shared-memory lifecycle tests.
+
+The interesting cases need real process death, so several tests run a
+small exporter script in a subprocess and assert on what the segment
+looks like from the outside afterwards.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.graph.columnar import ColumnStore
+from repro.graph.interaction import InteractionGraph
+from repro.resilience import (
+    active_segments,
+    cleanup_segments,
+    reap_orphans,
+    scan_orphans,
+)
+from repro.resilience.shm_registry import pid_alive
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+#: Exporter harness: exports a tiny ColumnStore into shm, prints the
+#: segment name, then dies the way the parametrizing test asks.
+EXPORTER = textwrap.dedent(
+    """
+    import os, sys, time
+    from repro.graph.columnar import ColumnStore
+    from repro.graph.interaction import InteractionGraph
+
+    g = InteractionGraph()
+    g.add_interaction("a", "b", 1.0, 2.0)
+    g.add_interaction("b", "c", 2.0, 3.0)
+    store = ColumnStore.from_graph(g).to_shared()
+    print(store.shm_name, flush=True)
+    mode = sys.argv[1]
+    if "untrack" in sys.argv[2:]:
+        # Simulate the stdlib resource tracker dying with the process
+        # (OOM kill / SIGKILL of the whole group): without this, the
+        # surviving tracker would unlink the "leaked" segment itself and
+        # race the orphan scanner under test.
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister("/" + store.shm_name, "shared_memory")
+    if mode == "exit":
+        sys.exit(0)             # atexit hooks run
+    elif mode == "hard-exit":
+        os._exit(0)             # nothing runs: simulates SIGKILL
+    elif mode == "wait":
+        time.sleep(30)          # parent will signal us
+    """
+)
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(os.path.join("/dev/shm", name.lstrip("/")))
+
+
+def _spawn_exporter(mode: str, *flags: str) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    return subprocess.Popen(
+        [sys.executable, "-c", EXPORTER, mode, *flags],
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+
+
+@pytest.fixture
+def tiny_store():
+    graph = InteractionGraph()
+    graph.add_interaction("a", "b", 1.0, 2.0)
+    return ColumnStore.from_graph(graph)
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="needs POSIX /dev/shm"
+)
+class TestCrashCleanup:
+    def test_normal_exit_unlinks_via_atexit(self):
+        with _spawn_exporter("exit") as proc:
+            name = proc.stdout.readline().strip()
+            proc.wait(timeout=30)
+        assert proc.returncode == 0
+        assert name
+        assert not _segment_exists(name)
+
+    def test_sigterm_unlinks_via_signal_handler(self):
+        with _spawn_exporter("wait") as proc:
+            name = proc.stdout.readline().strip()
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+        assert name
+        assert not _segment_exists(name)
+
+    def test_hard_kill_leaks_then_reap_orphans_recovers(self):
+        with _spawn_exporter("hard-exit", "untrack") as proc:
+            name = proc.stdout.readline().strip()
+            proc.wait(timeout=30)
+        assert name
+        # os._exit skipped every hook: the segment leaked...
+        assert _segment_exists(name)
+        bare = name.lstrip("/")
+        # ...the scanner sees it (creator pid recorded and dead)...
+        assert bare in scan_orphans()
+        # ...and the reaper removes exactly it.
+        assert bare in reap_orphans([bare])
+        assert not _segment_exists(name)
+
+    def test_attach_warns_on_orphaned_segment(self, tiny_store, caplog):
+        try:
+            with _spawn_exporter("wait", "untrack") as proc:
+                name = proc.stdout.readline().strip()
+                proc.send_signal(signal.SIGSTOP)  # keep it mapped but idle
+                proc.kill()  # SIGKILL: no cleanup runs
+                proc.wait(timeout=30)
+            assert _segment_exists(name)
+            with caplog.at_level("WARNING", logger="repro.graph.columnar"):
+                attached = ColumnStore.attach(name)
+            assert attached.creator_pid == proc.pid
+            assert not pid_alive(proc.pid)
+            assert any("orphan" in r.message for r in caplog.records)
+            attached.close()
+        finally:
+            reap_orphans([name.lstrip("/")])
+
+
+class TestRegistry:
+    def test_register_unregister_cycle(self, tiny_store):
+        shared = tiny_store.to_shared()
+        name = shared.shm_name
+        assert name in active_segments()
+        shared.close(unlink=True)  # close() unregisters before unlinking
+        assert name not in active_segments()
+        assert not _segment_exists(name)
+
+    def test_cleanup_segments_unlinks_registered(self, tiny_store):
+        shared = tiny_store.to_shared()
+        name = shared.shm_name
+        assert cleanup_segments() >= 1
+        assert name not in active_segments()
+        assert not _segment_exists(name)
+
+    def test_cleanup_is_idempotent(self, tiny_store):
+        shared = tiny_store.to_shared()
+        shared.close(unlink=True)
+        assert cleanup_segments() == 0
+
+    def test_creator_pid_travels_with_the_segment(self, tiny_store):
+        shared = tiny_store.to_shared()
+        try:
+            attached = ColumnStore.attach(shared.shm_name)
+            assert attached.creator_pid == os.getpid()
+            attached.close()
+        finally:
+            shared.close(unlink=True)
+
+
+class TestPidAlive:
+    def test_own_pid(self):
+        assert pid_alive(os.getpid())
+
+    def test_dead_pid(self):
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait(timeout=30)
+        assert not pid_alive(proc.pid)
+
+    def test_garbage_pids(self):
+        assert not pid_alive(None)
+        assert not pid_alive(0)
+        assert not pid_alive(-5)
