@@ -74,7 +74,12 @@ def _replay(stream, motif: Motif, mode: str, batch: int) -> dict:
     emitted.update(inst.canonical_key() for inst in detector.flush())
     flush_seconds = time.perf_counter() - start
     assert max(emitted.values(), default=1) == 1, "duplicate emission"
+    snapshot = detector.metrics().snapshot()
     return {
+        "metrics": {
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+        },
         "mode": mode,
         "batch": batch,
         "polls": polls,
@@ -110,8 +115,15 @@ def run_benchmark(quick: bool = False) -> dict:
             pair["rebuild"]["poll_seconds"]
             / max(pair["incremental"]["poll_seconds"], 1e-12)
         )
+    metrics = None
     for row in rows:
         row.pop("emitted")  # not JSON material
+        # Keep one representative detector-metrics snapshot (incremental
+        # mode at the smallest batch, the headline configuration) at the
+        # report's top level instead of bloating every row.
+        snap = row.pop("metrics")
+        if row["mode"] == "incremental" and row["batch"] == min(BATCH_SIZES):
+            metrics = snap
     return {
         "benchmark": "bench_streaming_incremental",
         "quick": quick,
@@ -123,6 +135,7 @@ def run_benchmark(quick: bool = False) -> dict:
         "rows": rows,
         "poll_speedup_by_batch": {str(b): s for b, s in by_batch.items()},
         "speedup_smallest_batch": by_batch[min(BATCH_SIZES)],
+        "metrics": metrics,
     }
 
 
@@ -146,6 +159,14 @@ def test_no_rebuilds_in_incremental_mode(report):
     for row in report["rows"]:
         if row["mode"] == "incremental":
             assert row["rebuilds"] == 0
+
+
+def test_metrics_section_present(report):
+    """ISSUE 7: benchmark reports carry a detector-metrics section."""
+    counters = report["metrics"]["counters"]
+    assert counters["stream.events"] == report["num_events"]
+    assert counters["p1.expansions"] > 0
+    assert counters["stream.heap_pushes"] >= counters["stream.heap_pops"]
 
 
 def test_modes_agree(report):
@@ -186,6 +207,13 @@ def main() -> None:
         )
     for batch, speedup in report_dict["poll_speedup_by_batch"].items():
         print(f"  batch {batch:>4s}: incremental {speedup:.1f}x faster polls")
+    counters = report_dict["metrics"]["counters"]
+    print(
+        f"metrics (incremental, batch={min(BATCH_SIZES)}): "
+        f"{counters['p1.expansions']:.0f} expansions, "
+        f"{counters['p1.watchlist_hits']:.0f} watch-list hits, "
+        f"{counters['stream.heap_pushes']:.0f} heap pushes"
+    )
     if args.out:
         with open(args.out, "w") as fh:
             json.dump(report_dict, fh, indent=2)

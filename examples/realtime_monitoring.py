@@ -44,12 +44,14 @@ def main() -> None:
                 )
     alerts.extend(detector.flush())
 
-    stats = detector.stats()
+    snapshot = detector.metrics().snapshot()
+    counters, gauges = snapshot["counters"], snapshot["gauges"]
     print(f"\ntotal alerts: {len(alerts)}")
     print(
-        f"detector stats: {stats['events']} events over {stats['pairs']} "
-        f"pairs, {stats['matches']} structural matches maintained "
-        f"incrementally, {stats['rebuilds']} rebuilds"
+        f"detector stats: {counters['stream.events']} events over "
+        f"{gauges['stream.pairs']:g} pairs, {gauges['stream.matches']:g} "
+        f"structural matches maintained incrementally, "
+        f"{counters['stream.rebuilds']} rebuilds"
     )
     assert detector.rebuild_count == 0  # the incremental contract
 

@@ -113,6 +113,12 @@ def _cmd_find(args: argparse.Namespace) -> int:
         )
     else:
         engine = FlowMotifEngine(graph)
+    observation = None
+    if args.trace or args.metrics_out:
+        from repro import obs as _obs
+
+        observation = _obs.observe(trace=True)
+        observation.__enter__()
     try:
         if args.top:
             instances = engine.top_k(motif, args.top)
@@ -133,13 +139,52 @@ def _cmd_find(args: argparse.Namespace) -> int:
                     f"imbalance {report.imbalance_ratio:.2f}]"
                 )
     finally:
+        if observation is not None:
+            observation.__exit__(None, None, None)
         # Parallel engines may own a shared-memory export; unlink it
         # deterministically rather than relying on interpreter shutdown.
         close = getattr(engine, "close", None)
         if close is not None:
             close()
+    if observation is not None:
+        if args.trace:
+            print(observation.render_trace(), file=sys.stderr)
+            print(observation.render_text(), file=sys.stderr)
+        if args.metrics_out:
+            observation.write_jsonl(args.metrics_out)
+            print(
+                f"[observability written to {args.metrics_out}]",
+                file=sys.stderr,
+            )
     for instance in instances[: args.limit]:
         print(json.dumps(instance.as_dict()))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        load_observations,
+        render_prometheus,
+        render_text,
+        render_trace_tree,
+        stitch_trace,
+    )
+
+    try:
+        snapshot, spans, _events = load_observations(args.files)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read observations: {exc}", file=sys.stderr)
+        return 2
+    if args.trace:
+        if spans:
+            print(render_trace_tree(stitch_trace(spans)))
+        else:
+            print("(no spans recorded)", file=sys.stderr)
+        return 0
+    if args.format == "text":
+        print(render_text(snapshot))
+    else:
+        print(render_prometheus(snapshot), end="")
     return 0
 
 
@@ -371,6 +416,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"{detector.rebuild_count} rebuilds{extras}",
         file=sys.stderr,
     )
+    if args.metrics_out:
+        from repro.obs import JsonlSink
+
+        with JsonlSink(args.metrics_out) as sink:
+            sink.emit_metrics(detector.metrics().snapshot())
+        print(f"[stream] metrics written to {args.metrics_out}", file=sys.stderr)
     return exit_code
 
 
@@ -434,6 +485,20 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "disable the zero-copy shared-memory columnar store for the "
             "process backend (workers then receive pickled shard slices)"
+        ),
+    )
+    find_parser.add_argument(
+        "--trace", action="store_true",
+        help=(
+            "record metrics and spans during the search and print the "
+            "stitched trace tree plus a metrics table to stderr"
+        ),
+    )
+    find_parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH", dest="metrics_out",
+        help=(
+            "append the run's metrics snapshot and spans to PATH as JSON "
+            "lines (readable by 'flow-motifs metrics PATH')"
         ),
     )
 
@@ -511,6 +576,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=["incremental", "rebuild"], default="incremental",
         help="detector implementation (rebuild is the legacy baseline)",
     )
+    stream_parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH", dest="metrics_out",
+        help=(
+            "on exit, append the detector's metrics snapshot to PATH as "
+            "JSON lines (readable by 'flow-motifs metrics PATH')"
+        ),
+    )
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="render observability JSON-lines files (from --metrics-out)",
+    )
+    metrics_parser.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="JSON-lines sink files; metrics snapshots merge associatively",
+    )
+    metrics_parser.add_argument(
+        "--format", choices=["prometheus", "text"], default="prometheus",
+        help="metrics rendering (default: Prometheus text exposition)",
+    )
+    metrics_parser.add_argument(
+        "--trace", action="store_true",
+        help="render the stitched span tree instead of the metrics",
+    )
     return parser
 
 
@@ -520,6 +609,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_find(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "all":
         return _run_experiments(args, list(EXPERIMENTS))
     return _run_experiments(args, [args.command])

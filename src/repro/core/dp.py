@@ -48,6 +48,7 @@ from repro.core.instance import MotifInstance, Run
 from repro.core.matching import StructuralMatch
 from repro.core.windows import Window, iter_maximal_windows
 from repro.graph.timeseries import EdgeSeries
+from repro.obs import metrics as _metrics
 
 _METHODS = ("quadratic", "bisect", "fused", "auto")
 
@@ -146,9 +147,22 @@ def max_flow_in_window(
         raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
     times = _window_times(series_list, window)
     tau = len(times)
+    m = len(series_list)
+    reg = _metrics.active()
+    if reg is not None:
+        # Kernel counters are derived arithmetically once per call — the
+        # DP loops themselves stay untouched, so disabled-mode overhead
+        # is exactly this one predicate. Cells = τ·m (one DP cell per
+        # (timestamp, layer)); every cell past the base layer resolves
+        # its interval sum from two O(1) prefix-sum reads, and the base
+        # layer uses one per cell: reuse hits = τ + 2·τ·(m-1).
+        reg.counter("p2.dp.windows_scanned").inc()
+        reg.counter("p2.dp.cells").inc(tau * m)
+        reg.counter("p2.dp.interval_sum_reuse").inc(
+            tau + 2 * tau * (m - 1) if m > 0 else 0
+        )
     if tau == 0:
         return 0.0, None
-    m = len(series_list)
     if method == "auto":
         method = "fused" if tau >= _FUSED_MIN_TAU else "quadratic"
 
@@ -300,6 +314,8 @@ def top_one_in_match(
     best = TopOneResult(0.0, None, match, None)
     if not match_is_feasible(series_list, 0.0):
         return best
+    reg = _metrics.active()
+    pruned = reg.counter("p2.dp.windows_pruned") if reg is not None else None
     for window in iter_maximal_windows(
         series_list[0], series_list[-1], motif_delta
     ):
@@ -311,6 +327,8 @@ def top_one_in_match(
             s.flow_in_interval(window.start, window.end) for s in series_list
         )
         if bound <= max(best.flow, incumbent):
+            if pruned is not None:
+                pruned.inc()
             continue
         flow, intervals = max_flow_in_window(
             series_list, window, method=method, reconstruct=reconstruct

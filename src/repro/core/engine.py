@@ -37,6 +37,8 @@ from repro.core.matching import (
 from repro.core.motif import Motif
 from repro.graph.interaction import InteractionGraph
 from repro.graph.timeseries import TimeSeriesGraph
+from repro.obs import metrics as _metrics
+from repro.obs.tracing import span as _span
 from repro.utils.timing import ShardTimingReport, Timer
 
 
@@ -219,38 +221,46 @@ class FlowMotifEngine:
             def sink(instance: MotifInstance) -> None:
                 counter[0] += 1
 
-        if use_cache:
-            with Timer() as t1:
-                matches = self.structural_matches(motif, use_cache=True)
-            result.num_matches = len(matches)
-            result.p1_seconds = t1.elapsed
-            with Timer() as t2:
-                _enumeration.find_instances(
-                    matches,
-                    delta=delta,
-                    phi=phi,
-                    on_instance=sink,
-                    skip_rule=skip_rule,
-                    prefix_pruning=prefix_pruning,
-                )
-            result.p2_seconds = t2.elapsed
-        else:
-            effective_phi = motif.phi if phi is None else phi
-            with Timer() as t2:
-                for match in iter_structural_matches(
-                    self._ts, motif, phi=effective_phi, temporal_pruning=True
-                ):
-                    result.num_matches += 1
-                    _enumeration.find_instances_in_match(
-                        match,
+        with _span(
+            "query.find_instances", motif=str(motif), backend="serial"
+        ):
+            if use_cache:
+                with _span("p1.match"), Timer() as t1:
+                    matches = self.structural_matches(motif, use_cache=True)
+                result.num_matches = len(matches)
+                result.p1_seconds = t1.elapsed
+                with _span("p2.enumerate"), Timer() as t2:
+                    _enumeration.find_instances(
+                        matches,
                         delta=delta,
                         phi=phi,
                         on_instance=sink,
                         skip_rule=skip_rule,
                         prefix_pruning=prefix_pruning,
                     )
-            result.p2_seconds = t2.elapsed
+                result.p2_seconds = t2.elapsed
+            else:
+                effective_phi = motif.phi if phi is None else phi
+                with _span("p2.enumerate", fused=True), Timer() as t2:
+                    for match in iter_structural_matches(
+                        self._ts, motif, phi=effective_phi,
+                        temporal_pruning=True
+                    ):
+                        result.num_matches += 1
+                        _enumeration.find_instances_in_match(
+                            match,
+                            delta=delta,
+                            phi=phi,
+                            on_instance=sink,
+                            skip_rule=skip_rule,
+                            prefix_pruning=prefix_pruning,
+                        )
+                result.p2_seconds = t2.elapsed
         result.count = counter[0]
+        reg = _metrics.active()
+        if reg is not None:
+            reg.counter("p1.matches").inc(result.num_matches)
+            reg.counter("p2.instances").inc(result.count)
         return result
 
     def count_instances(
@@ -263,15 +273,22 @@ class FlowMotifEngine:
         """Count maximal instances without constructing them (memoized;
         the Section 7 future-work feature)."""
         result = SearchResult(motif=motif)
-        with Timer() as t1:
-            matches = self.structural_matches(motif, use_cache=use_cache)
-        result.num_matches = len(matches)
-        result.p1_seconds = t1.elapsed
-        with Timer() as t2:
-            result.count = _counting.count_instances(
-                matches, delta=delta, phi=phi
-            )
-        result.p2_seconds = t2.elapsed
+        with _span(
+            "query.count_instances", motif=str(motif), backend="serial"
+        ):
+            with _span("p1.match"), Timer() as t1:
+                matches = self.structural_matches(motif, use_cache=use_cache)
+            result.num_matches = len(matches)
+            result.p1_seconds = t1.elapsed
+            with _span("p2.count"), Timer() as t2:
+                result.count = _counting.count_instances(
+                    matches, delta=delta, phi=phi
+                )
+            result.p2_seconds = t2.elapsed
+        reg = _metrics.active()
+        if reg is not None:
+            reg.counter("p1.matches").inc(result.num_matches)
+            reg.counter("p2.instances").inc(result.count)
         return result
 
     def top_k(

@@ -221,6 +221,15 @@ class IncrementalMatcher:
         self._drained: Dict[_Pair, List[int]] = {}
         self.matches_discovered = 0
         self.feasibility_checks = 0
+        # Profiling counters (plain ints — an increment costs less than a
+        # registry gate, so these stay on unconditionally and are lifted
+        # into the metrics registry by StreamingDetector.metrics()):
+        # anchored-P1 DFS expansion steps, watch/drained-table wakeups,
+        # and deadline-heap traffic.
+        self.expansions = 0
+        self.watchlist_hits = 0
+        self.heap_pushes = 0
+        self.heap_pops = 0
         # Bootstrap from whatever the graph already holds (usually empty).
         # No temporal/φ pruning here: pruned matches could become feasible
         # after later appends, so the index must keep them all and defer
@@ -302,6 +311,7 @@ class IncrementalMatcher:
             for match in self._matches_through(series):
                 self._register(match)
         if waiting:
+            self.watchlist_hits += len(waiting)
             still_waiting: List[int] = []
             for idx in waiting:
                 state = self._states[idx]
@@ -316,6 +326,7 @@ class IncrementalMatcher:
             if still_waiting:
                 self._waiting.setdefault(pair, []).extend(still_waiting)
         if drained:
+            self.watchlist_hits += len(drained)
             for idx in drained:
                 state = self._states[idx]
                 state.drained = False
@@ -341,6 +352,7 @@ class IncrementalMatcher:
         emitted = 0
         while heap and heap[0][0] < horizon:
             _, idx = heappop(heap)
+            self.heap_pops += 1
             state = self._states[idx]
             emitted += sweep_closed_windows(
                 state.match, state, horizon, self.delta, self.phi, sink
@@ -373,6 +385,7 @@ class IncrementalMatcher:
             self._drained.setdefault((first.src, first.dst), []).append(idx)
         else:
             heappush(self._heap, (end, idx))
+            self.heap_pushes += 1
 
     def _matches_through(
         self, new_series
@@ -412,6 +425,7 @@ class IncrementalMatcher:
             order = list(range(p - 1, -1, -1)) + list(range(p + 1, m))
 
             def fill(k: int) -> Iterator[StructuralMatch]:
+                self.expansions += 1
                 if k == len(order):
                     vertex_map = tuple(
                         assignment[vid] for vid in range(motif.num_vertices)

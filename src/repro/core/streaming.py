@@ -42,6 +42,7 @@ sweep, so their emissions are identical by construction.
 
 from __future__ import annotations
 
+import warnings
 from heapq import heappop, heappush
 from typing import Dict, List, Optional, Tuple
 
@@ -276,7 +277,20 @@ class StreamingDetector:
         return self._graph.num_events
 
     def stats(self) -> dict:
-        """Operational counters (useful for monitoring dashboards)."""
+        """Deprecated: use :meth:`metrics` (shared ``stream.*`` namespace).
+
+        Kept as a thin adapter over the registry-backed counters so
+        existing dashboards keep working; the dict shape is unchanged.
+        """
+        warnings.warn(
+            "StreamingDetector.stats() is deprecated; use "
+            "StreamingDetector.metrics() for the registry-backed view",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._stats_dict()
+
+    def _stats_dict(self) -> dict:
         base = {
             "mode": self.mode,
             "events": self._graph.num_events,
@@ -292,6 +306,49 @@ class StreamingDetector:
             base["scheduled_matches"] = self._matcher.scheduled_count
             base["feasibility_checks"] = self._matcher.feasibility_checks
         return base
+
+    def metrics(self) -> "MetricsRegistry":
+        """The detector's state as a fresh :class:`MetricsRegistry`.
+
+        Built lazily from the plain-int counters the hot paths maintain
+        unconditionally — constructing the registry costs nothing per
+        event, and the result merges associatively with engine/worker
+        registries into one report (shared ``stream.*`` / ``p1.*``
+        namespace with the batch side).
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("stream.events").inc(self._graph.num_events)
+        registry.counter("stream.emitted").inc(self._emitted)
+        registry.counter("stream.rebuilds").inc(self._rebuild_count)
+        registry.counter("stream.late_dropped").inc(self._late_dropped)
+        registry.gauge("stream.pairs").set(self._graph.num_series)
+        registry.gauge("stream.matches").set(self.match_count)
+        registry.gauge("stream.slack").set(self.slack)
+        registry.gauge("stream.reorder_depth").set(len(self._pending))
+        # Watermark lag: how far the oldest buffered event trails the
+        # watermark — 0 when the reorder buffer is empty or slack is 0.
+        lag = (
+            self._watermark - self._pending[0][0] if self._pending else 0.0
+        )
+        registry.gauge("stream.watermark_lag").set(lag)
+        if self._matcher is not None:
+            matcher = self._matcher
+            registry.gauge("stream.scheduled_matches").set(
+                matcher.scheduled_count
+            )
+            registry.counter("p1.matches_discovered").inc(
+                matcher.matches_discovered
+            )
+            registry.counter("p1.feasibility_checks").inc(
+                matcher.feasibility_checks
+            )
+            registry.counter("p1.expansions").inc(matcher.expansions)
+            registry.counter("p1.watchlist_hits").inc(matcher.watchlist_hits)
+            registry.counter("stream.heap_pushes").inc(matcher.heap_pushes)
+            registry.counter("stream.heap_pops").inc(matcher.heap_pops)
+        return registry
 
     # ------------------------------------------------------------------
     # Emission

@@ -57,6 +57,17 @@ def render(result: dict, markdown: bool = False) -> str:
             )
         )
         lines.append("")
+    metrics = result.get("metrics")
+    if metrics:
+        from repro.obs import render_text as _render_metrics
+
+        lines.append("-- metrics --")
+        if markdown:
+            lines.append("```")
+        lines.append(_render_metrics(metrics))
+        if markdown:
+            lines.append("```")
+        lines.append("")
     return "\n".join(lines)
 
 

@@ -1,0 +1,137 @@
+"""``repro.obs`` — dependency-free observability for the motif engines.
+
+Three pieces, one activation model:
+
+* :mod:`repro.obs.metrics` — counters / gauges / histograms in a
+  :class:`MetricsRegistry` with deterministic snapshots and associative
+  merge (per-worker registries fold into one report in any order).
+* :mod:`repro.obs.tracing` — ``span()`` context managers with explicit
+  parent ids; serialized span lists cross process boundaries and
+  stitch back into a single trace tree.
+* :mod:`repro.obs.sink` — JSON-lines emission plus Prometheus text
+  exposition and human renderings.
+
+Observability is **off by default** and costs one predicate per
+instrumented call site when off (hot loops are never instrumented
+per-iteration; kernel counters are computed arithmetically per call).
+Turn it on around any region with::
+
+    from repro import obs
+
+    with obs.observe() as ob:
+        engine.find_instances(motif, delta)
+    print(ob.render_text())          # metrics table
+    print(ob.render_trace())         # stitched span tree
+
+Activation is thread-local: concurrent observed regions on different
+threads (e.g. per-task activation inside the thread pool backend) do
+not see each other's registries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import metrics as metrics
+from . import tracing as tracing
+from .metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    render_prometheus,
+    render_text,
+)
+from .sink import JsonlSink, load_observations, read_jsonl
+from .tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    render_trace_tree,
+    span,
+    span_totals,
+    stitch_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Observation",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "load_observations",
+    "metrics",
+    "observe",
+    "read_jsonl",
+    "render_prometheus",
+    "render_text",
+    "render_trace_tree",
+    "span",
+    "span_totals",
+    "stitch_trace",
+    "tracing",
+]
+
+
+class Observation:
+    """Handle for one observed region: its registry and tracer.
+
+    Usable as a context manager (see :func:`observe`); the collected
+    data stays readable after exit.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        trace: bool = True,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else (
+            Tracer() if trace else None
+        )
+        self._prev_registry: Optional[MetricsRegistry] = None
+        self._prev_tracer: Optional[Tracer] = None
+
+    def __enter__(self) -> "Observation":
+        self._prev_registry = metrics.activate(self.registry)
+        if self.tracer is not None:
+            self._prev_tracer = tracing.activate(self.tracer)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        metrics.activate(self._prev_registry)
+        if self.tracer is not None:
+            tracing.activate(self._prev_tracer)
+
+    # -- conveniences ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    def spans(self) -> List[dict]:
+        return self.tracer.spans() if self.tracer is not None else []
+
+    def render_text(self) -> str:
+        return render_text(self.registry.snapshot())
+
+    def render_prometheus(self) -> str:
+        return render_prometheus(self.registry.snapshot())
+
+    def render_trace(self) -> str:
+        return render_trace_tree(stitch_trace(self.spans()))
+
+    def write_jsonl(self, path: str) -> None:
+        """Dump metrics snapshot + spans to a JSON-lines sink file."""
+        with JsonlSink(path) as sink:
+            sink.emit_metrics(self.snapshot())
+            sink.emit_spans(self.spans())
+
+
+def observe(trace: bool = True) -> Observation:
+    """Activate observability for a ``with`` region on this thread.
+
+    ``trace=False`` collects metrics only (no span bookkeeping) — used
+    by benchmarks measuring counter overhead in isolation.
+    """
+    return Observation(trace=trace)

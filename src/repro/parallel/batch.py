@@ -33,6 +33,7 @@ from repro.core.engine import SearchResult
 from repro.core.motif import Motif
 from repro.graph.interaction import InteractionGraph
 from repro.graph.timeseries import TimeSeriesGraph
+from repro.obs import tracing as _tracing
 from repro.parallel import merge as _merge
 from repro.parallel import worker as _worker
 from repro.parallel.engine import ParallelFlowMotifEngine
@@ -158,20 +159,36 @@ class BatchRunner:
                 "p1_seconds": 0.0,
                 "p2_seconds": 0.0,
                 "wall_seconds": 0.0,
+                "shard_imbalance_ratio": 1.0,
             }
             return []
-        with Timer() as wall:
-            if self.num_shards == 1:
-                results = self._run_serial(resolved, collect)
-            else:
-                results = self._run_sharded(resolved, collect)
+        with _tracing.span(
+            "query.batch", configs=len(resolved), shards=self.num_shards
+        ):
+            with Timer() as wall:
+                if self.num_shards == 1:
+                    results = self._run_serial(resolved, collect)
+                else:
+                    results = self._run_sharded(resolved, collect)
         groups = {c.motif.spanning_path for c in resolved}
+        # Shard imbalance (max/mean shard wall time) of the batch: the
+        # worst ratio across the grid — 1.0 on the serial path, where no
+        # sharding (and hence no imbalance) exists.
+        imbalance = max(
+            (
+                r.shard_timings.imbalance_ratio
+                for r in results
+                if r.shard_timings is not None
+            ),
+            default=1.0,
+        )
         self.last_stats = {
             "num_configs": len(resolved),
             "num_topology_groups": len(groups),
             "p1_seconds": sum(r.p1_seconds for r in results),
             "p2_seconds": sum(r.p2_seconds for r in results),
             "wall_seconds": wall.elapsed,
+            "shard_imbalance_ratio": imbalance,
         }
         return results
 

@@ -53,6 +53,8 @@ from repro.core.motif import Motif
 from repro.graph.columnar import ColumnStore
 from repro.graph.interaction import InteractionGraph
 from repro.graph.timeseries import TimeSeriesGraph
+from repro.obs import metrics as _obs_metrics
+from repro.obs import tracing as _tracing
 from repro.parallel import merge as _merge
 from repro.parallel import worker as _worker
 from repro.parallel.partition import (
@@ -345,6 +347,51 @@ class ParallelFlowMotifEngine:
                 ).graph
         return [(kind, shard) + args for shard in shards]
 
+    def _wrap_traced(self, tasks: Sequence[Tuple]) -> Sequence[Tuple]:
+        """Envelope tasks with the caller's observability context.
+
+        When a tracer or metrics registry is active on the dispatching
+        thread, each task becomes ``("traced", (trace_id, parent_span_id),
+        attrs, inner_task)``: the worker trampoline activates a fresh
+        registry/tracer around the inner task and ships spans + snapshot
+        back (see :func:`repro.parallel.worker.run_shard_task`). With
+        observability off, tasks pass through untouched — the envelope,
+        the per-task registries, and the return wrapping all vanish.
+        """
+        tracer = _tracing.active()
+        if tracer is None and _obs_metrics.active() is None:
+            return tasks
+        ctx = tracer.context() if tracer is not None else (None, None)
+        return [
+            ("traced", ctx, {"shard": index}, task)
+            for index, task in enumerate(tasks)
+        ]
+
+    def _unwrap_traced(self, results: List) -> List:
+        """Fold worker observability payloads back into this thread.
+
+        Worker results arrive as ``("obs", spans, snapshot, inner)``:
+        spans are adopted by the active tracer (stitching the worker
+        subtrees under the dispatching span via their shipped parent
+        ids) and snapshots merge associatively into the active registry.
+        Results from retried attempts that ultimately failed never reach
+        this point, so each shard contributes exactly one snapshot.
+        """
+        tracer = _tracing.active()
+        registry = _obs_metrics.active()
+        unwrapped: List = []
+        for item in results:
+            if isinstance(item, tuple) and len(item) == 4 and item[0] == "obs":
+                _, spans, snapshot, inner = item
+                if tracer is not None and spans:
+                    tracer.add_spans(spans)
+                if registry is not None and snapshot:
+                    registry.merge(snapshot)
+                unwrapped.append(inner)
+            else:
+                unwrapped.append(item)
+        return unwrapped
+
     def _dispatch(self, tasks: Sequence[Tuple]) -> List:
         """Run shard tasks on the configured backend, preserving order.
 
@@ -362,9 +409,12 @@ class ParallelFlowMotifEngine:
         """
         report = DispatchReport(backend=self.backend, final_backend=self.backend)
         self.last_dispatch = report
+        tasks = self._wrap_traced(tasks)
         if self.jobs == 1 or self.backend == "serial" or len(tasks) <= 1:
             report.backend = report.final_backend = "serial"
-            return [_worker.run_shard_task(task) for task in tasks]
+            return self._unwrap_traced(
+                [_worker.run_shard_task(task) for task in tasks]
+            )
         policy = self.retry_policy
         results: List = [None] * len(tasks)
         pending = list(range(len(tasks)))
@@ -372,7 +422,7 @@ class ParallelFlowMotifEngine:
         for step, backend in enumerate(chain):
             report.final_backend = backend
             if step > 0:
-                report.degradations.append(backend)
+                report.record_degradation(backend)
                 LOG.warning(
                     "degrading dispatch to %r backend (%d shard(s) "
                     "unresolved after %s)",
@@ -382,13 +432,13 @@ class ParallelFlowMotifEngine:
                 )
             for round_no in range(policy.max_retries + 1):
                 if round_no > 0:
-                    report.retry_rounds += 1
+                    report.record_retry_round(backend)
                     _time.sleep(policy.delay_for(round_no - 1, token=step))
                 pending = self._run_round(
                     tasks, results, pending, backend, round_no, report
                 )
                 if not pending:
-                    return results
+                    return self._unwrap_traced(results)
             if not policy.degrade:
                 break
         raise ShardExecutionError(
@@ -494,22 +544,29 @@ class ParallelFlowMotifEngine:
         """
         effective_delta = motif.delta if delta is None else delta
         effective_phi = motif.phi if phi is None else phi
-        with Timer() as wall:
-            shards = self.partition(effective_delta)
-            tasks = self._shard_tasks(
-                shards,
-                "search",
-                motif,
-                effective_delta,
-                effective_phi,
-                collect,
-                skip_rule,
-                prefix_pruning,
+        with _tracing.span(
+            "query.find_instances",
+            motif=str(motif),
+            delta=effective_delta,
+            backend=self.backend,
+            shards=self.num_shards,
+        ):
+            with Timer() as wall:
+                shards = self.partition(effective_delta)
+                tasks = self._shard_tasks(
+                    shards,
+                    "search",
+                    motif,
+                    effective_delta,
+                    effective_phi,
+                    collect,
+                    skip_rule,
+                    prefix_pruning,
+                )
+                outputs = self._dispatch(tasks)
+            return _merge.merge_search_results(
+                motif, shards, outputs, self._ts, wall_seconds=wall.elapsed
             )
-            outputs = self._dispatch(tasks)
-        return _merge.merge_search_results(
-            motif, shards, outputs, self._ts, wall_seconds=wall.elapsed
-        )
 
     def count_instances(
         self,
@@ -520,15 +577,22 @@ class ParallelFlowMotifEngine:
         """Count maximal instances without constructing them, sharded."""
         effective_delta = motif.delta if delta is None else delta
         effective_phi = motif.phi if phi is None else phi
-        with Timer() as wall:
-            shards = self.partition(effective_delta)
-            tasks = self._shard_tasks(
-                shards, "count", motif, effective_delta, effective_phi
+        with _tracing.span(
+            "query.count_instances",
+            motif=str(motif),
+            delta=effective_delta,
+            backend=self.backend,
+            shards=self.num_shards,
+        ):
+            with Timer() as wall:
+                shards = self.partition(effective_delta)
+                tasks = self._shard_tasks(
+                    shards, "count", motif, effective_delta, effective_phi
+                )
+                outputs = self._dispatch(tasks)
+            return _merge.merge_search_results(
+                motif, shards, outputs, self._ts, wall_seconds=wall.elapsed
             )
-            outputs = self._dispatch(tasks)
-        return _merge.merge_search_results(
-            motif, shards, outputs, self._ts, wall_seconds=wall.elapsed
-        )
 
     def top_k(
         self,
@@ -539,7 +603,16 @@ class ParallelFlowMotifEngine:
         """The k maximal instances with the largest flow (Section 5),
         computed as a merge of per-shard top-k candidate lists."""
         effective_delta = motif.delta if delta is None else delta
-        shards = self.partition(effective_delta)
-        tasks = self._shard_tasks(shards, "top_k", motif, k, effective_delta)
-        outputs = self._dispatch(tasks)
-        return _merge.merge_top_k(motif, shards, outputs, self._ts, k)
+        with _tracing.span(
+            "query.top_k",
+            motif=str(motif),
+            k=k,
+            backend=self.backend,
+            shards=self.num_shards,
+        ):
+            shards = self.partition(effective_delta)
+            tasks = self._shard_tasks(
+                shards, "top_k", motif, k, effective_delta
+            )
+            outputs = self._dispatch(tasks)
+            return _merge.merge_top_k(motif, shards, outputs, self._ts, k)

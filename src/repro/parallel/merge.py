@@ -29,6 +29,7 @@ from repro.core.engine import SearchResult
 from repro.core.instance import MotifInstance, Run
 from repro.core.motif import Motif
 from repro.graph.timeseries import TimeSeriesGraph
+from repro.obs import metrics as _metrics
 from repro.parallel.partition import TimeShard
 from repro.parallel.worker import InstanceRecord, ShardSearchOutput
 from repro.utils.timing import ShardTiming, ShardTimingReport
@@ -125,6 +126,14 @@ def merge_search_results(
     result.shard_timings = ShardTimingReport(
         shards=timings, wall_seconds=wall_seconds
     )
+    reg = _metrics.active()
+    if reg is not None:
+        reg.counter("p1.matches").inc(result.num_matches)
+        reg.counter("p2.instances").inc(result.count)
+        reg.gauge("parallel.shard_imbalance_ratio").set(
+            result.shard_timings.imbalance_ratio
+        )
+        reg.gauge("parallel.num_shards").set(len(timings))
     return result
 
 

@@ -43,6 +43,9 @@ from repro.core.motif import Motif
 from repro.graph.columnar import ColumnStore
 from repro.graph.events import Node
 from repro.graph.timeseries import TimeSeriesGraph
+from repro.obs import metrics as _obs_metrics
+from repro.obs import tracing as _tracing
+from repro.obs.tracing import span as _span
 from repro.resilience import faultinject as _faultinject
 from repro.parallel.partition import TimeShard, materialize_shard
 from repro.utils.timing import Timer
@@ -102,7 +105,10 @@ def search_shard(
     out = ShardSearchOutput(shard_index=shard.index)
     if shard.graph.num_series == 0:
         return out
-    with Timer() as t1:
+    # The p1/p2 spans wrap exactly the Timer blocks feeding
+    # p1_seconds/p2_seconds, so span totals reconcile with the merged
+    # ShardTimingReport (asserted in tests/obs/test_observed_search.py).
+    with _span("p1.match", shard=shard.index), Timer() as t1:
         matches = _shard_matches(shard, motif, phi)
     out.num_matches = len(matches)
     out.p1_seconds = t1.elapsed
@@ -116,7 +122,7 @@ def search_shard(
         def sink(instance: MotifInstance) -> None:
             counter[0] += 1
 
-    with Timer() as t2:
+    with _span("p2.enumerate", shard=shard.index), Timer() as t2:
         _enumeration.find_instances(
             matches,
             delta=delta,
@@ -142,11 +148,11 @@ def count_shard(
     out = ShardSearchOutput(shard_index=shard.index)
     if shard.graph.num_series == 0:
         return out
-    with Timer() as t1:
+    with _span("p1.match", shard=shard.index), Timer() as t1:
         matches = _shard_matches(shard, motif, phi)
     out.num_matches = len(matches)
     out.p1_seconds = t1.elapsed
-    with Timer() as t2:
+    with _span("p2.count", shard=shard.index), Timer() as t2:
         out.count = _counting.count_instances(
             matches, delta=delta, phi=phi, anchor_range=shard.anchor_range
         )
@@ -173,11 +179,11 @@ def top_k_shard(
     out = ShardSearchOutput(shard_index=shard.index)
     if shard.graph.num_series == 0:
         return out
-    with Timer() as t1:
+    with _span("p1.match", shard=shard.index), Timer() as t1:
         matches = _shard_matches(shard, motif, 0.0)
     out.num_matches = len(matches)
     out.p1_seconds = t1.elapsed
-    with Timer() as t2:
+    with _span("p2.top_k", shard=shard.index), Timer() as t2:
         instances = _topk.top_k_instances(
             matches, k, delta=delta, anchor_range=shard.anchor_range
         )
@@ -212,7 +218,7 @@ def batch_search_shard(
             continue
         key = motif.spanning_path
         if key not in matches_by_path:
-            with Timer() as t1:
+            with _span("p1.match", shard=shard.index), Timer() as t1:
                 # φ = 0: the unpruned match set serves every φ in the group.
                 matches_by_path[key] = _shard_matches(shard, motif, 0.0)
             out.p1_seconds = t1.elapsed
@@ -228,7 +234,9 @@ def batch_search_shard(
             def sink(instance: MotifInstance, _out=out, _counter=counter) -> None:
                 _counter[0] += 1
 
-        with Timer() as t2:
+        with _span(
+            "p2.enumerate", shard=shard.index, config=config_index
+        ), Timer() as t2:
             _enumeration.find_instances(
                 matches,
                 delta=delta,
@@ -289,6 +297,8 @@ def run_shard_task(task: Tuple) -> object:
     event lists.
     """
     kind, args = task[0], task[1:]
+    if kind == "traced":
+        return _run_traced(*args)
     if kind == "columnar":
         shm_name, bounds, inner_kind = args[0], args[1], args[2]
         shard = materialize_shard(_attached_graph(shm_name), bounds)
@@ -307,3 +317,35 @@ def run_shard_task(task: Tuple) -> object:
     if kind == "batch":
         return batch_search_shard(*args)
     raise ValueError(f"unknown shard task kind {kind!r}")
+
+
+def _run_traced(ctx: Tuple, attrs: Dict, inner: Tuple) -> Tuple:
+    """Run one task under the dispatcher's observability context.
+
+    ``ctx`` is the shipped ``(trace_id, parent_span_id)`` (``(None,
+    None)`` when only metrics were active). A *fresh* per-task registry
+    and tracer are activated on this thread — thread-local activation
+    means concurrent thread-backend tasks never share mutable state —
+    and the previous state is restored afterwards, so the serial inline
+    path leaves the dispatcher's own registry untouched. Returns
+    ``("obs", spans, snapshot, inner_result)`` for the engine's
+    ``_unwrap_traced`` to stitch and merge parent-side.
+    """
+    trace_id, parent_id = ctx
+    registry = _obs_metrics.MetricsRegistry()
+    tracer = (
+        _tracing.Tracer(trace_id, parent_id) if trace_id is not None else None
+    )
+    prev_registry = _obs_metrics.activate(registry)
+    prev_tracer = _tracing.activate(tracer)
+    try:
+        if tracer is not None:
+            with tracer.span("worker.shard_task", **attrs):
+                result = run_shard_task(inner)
+        else:
+            result = run_shard_task(inner)
+    finally:
+        _obs_metrics.activate(prev_registry)
+        _tracing.activate(prev_tracer)
+    spans = tracer.spans() if tracer is not None else []
+    return ("obs", spans, registry.snapshot(), result)

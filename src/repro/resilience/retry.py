@@ -28,6 +28,8 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.obs import metrics as _metrics
+
 LOG = logging.getLogger("repro.resilience")
 
 #: Failure categories, roughly ordered from "environment" to "your code".
@@ -198,4 +200,23 @@ class DispatchReport:
         )
         self.faults.append(event)
         LOG.warning("shard failure: %s", event)
+        reg = _metrics.active()
+        if reg is not None:
+            reg.counter(
+                "resilience.faults", category=event.category, backend=backend
+            ).inc()
         return event
+
+    def record_retry_round(self, backend: str) -> None:
+        """Count one retry round (beyond the first attempt)."""
+        self.retry_rounds += 1
+        reg = _metrics.active()
+        if reg is not None:
+            reg.counter("resilience.retries", backend=backend).inc()
+
+    def record_degradation(self, backend: str) -> None:
+        """Count one degradation step onto ``backend``."""
+        self.degradations.append(backend)
+        reg = _metrics.active()
+        if reg is not None:
+            reg.counter("resilience.degradations", to=backend).inc()

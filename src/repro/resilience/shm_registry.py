@@ -35,6 +35,8 @@ import threading
 import weakref
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import metrics as _metrics
+
 LOG = logging.getLogger("repro.resilience")
 
 #: Magic + header layout of a shared ColumnStore segment. Canonical here so
@@ -180,6 +182,9 @@ def cleanup_segments() -> int:
             removed += 1
         except Exception as exc:  # pragma: no cover - defensive logging
             LOG.warning("failed to clean up shm segment %r: %s", name, exc)
+    reg = _metrics.active()
+    if reg is not None and removed:
+        reg.counter("resilience.shm_cleanups").inc(removed)
     return removed
 
 
@@ -251,4 +256,7 @@ def reap_orphans(names: Optional[List[str]] = None) -> List[str]:
                 pid,
             )
             reaped.append(name)
+    reg = _metrics.active()
+    if reg is not None and reaped:
+        reg.counter("resilience.shm_orphans_reaped").inc(len(reaped))
     return reaped

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import List
@@ -43,6 +44,10 @@ class Stopwatch:
 
     def __init__(self) -> None:
         self._totals: dict[str, float] = {}
+        # Concurrent measure() blocks on the same phase race on the
+        # read-modify-write in add(); the lock makes accumulation exact
+        # (regression-tested in tests/test_utils.py).
+        self._lock = threading.Lock()
 
     def measure(self, phase: str) -> "_PhaseContext":
         """Return a context manager adding its duration to ``phase``."""
@@ -50,19 +55,23 @@ class Stopwatch:
 
     def add(self, phase: str, seconds: float) -> None:
         """Add ``seconds`` to the accumulated total of ``phase``."""
-        self._totals[phase] = self._totals.get(phase, 0.0) + seconds
+        with self._lock:
+            self._totals[phase] = self._totals.get(phase, 0.0) + seconds
 
     def total(self, phase: str) -> float:
         """Total seconds accumulated for ``phase`` (0.0 if never measured)."""
-        return self._totals.get(phase, 0.0)
+        with self._lock:
+            return self._totals.get(phase, 0.0)
 
     def phases(self) -> dict[str, float]:
         """A copy of all accumulated phase totals."""
-        return dict(self._totals)
+        with self._lock:
+            return dict(self._totals)
 
     def reset(self) -> None:
         """Clear all accumulated totals."""
-        self._totals.clear()
+        with self._lock:
+            self._totals.clear()
 
 
 @dataclass

@@ -201,7 +201,8 @@ class TestIncrementalContract:
     def test_stats_counters(self):
         detector = self._fed_detector()
         detector.poll()
-        stats = detector.stats()
+        with pytest.warns(DeprecationWarning, match="metrics"):
+            stats = detector.stats()
         assert stats["mode"] == "incremental"
         assert stats["events"] == 3
         assert stats["pairs"] == 3

@@ -1,0 +1,200 @@
+"""Registry semantics: determinism, associativity, escaping, activation."""
+
+import itertools
+import random
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    render_prometheus,
+    render_text,
+    split_key,
+)
+
+
+def _random_registry(rng: random.Random) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    for _ in range(rng.randrange(0, 12)):
+        kind = rng.choice(("counter", "gauge", "histogram"))
+        name = rng.choice(("p1.matches", "p2.dp.cells", "stream.events"))
+        labels = {}
+        if rng.random() < 0.5:
+            labels["motif"] = rng.choice(("M(3,2)", "M(3,3)", "0-1-2-0"))
+        if kind == "counter":
+            reg.counter(name, **labels).inc(rng.randrange(1, 100))
+        elif kind == "gauge":
+            reg.gauge(name, **labels).set(rng.uniform(0, 10))
+        else:
+            reg.histogram(name, **labels).observe(rng.uniform(0, 200))
+    return reg
+
+
+class TestMergeAssociativity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_any_merge_order_renders_identically(self, seed):
+        """Property: folding worker snapshots in any order gives the same
+        rendered report — counters sum, gauges max, buckets sum."""
+        rng = random.Random(seed)
+        snapshots = [_random_registry(rng).snapshot() for _ in range(4)]
+        rendered = set()
+        for order in itertools.permutations(range(len(snapshots))):
+            merged = MetricsRegistry()
+            for i in order:
+                merged.merge(snapshots[i])
+            rendered.add(
+                (merged.render_text(), merged.render_prometheus())
+            )
+        assert len(rendered) == 1
+
+    def test_merge_is_associative_not_just_commutative(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(1)
+        b = MetricsRegistry()
+        b.counter("c").inc(2)
+        b.gauge("g").set(5.0)
+        c = MetricsRegistry()
+        c.gauge("g").set(3.0)
+        c.histogram("h").observe(0.5)
+
+        left = MetricsRegistry.from_snapshot(a.snapshot())
+        left.merge(b.snapshot())
+        left.merge(c.snapshot())
+
+        bc = MetricsRegistry.from_snapshot(b.snapshot())
+        bc.merge(c.snapshot())
+        right = MetricsRegistry.from_snapshot(a.snapshot())
+        right.merge(bc.snapshot())
+
+        assert left.snapshot() == right.snapshot()
+
+    def test_counter_sum_gauge_max_bucket_sum(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(3)
+        a.gauge("g").set(7.0)
+        a.histogram("h").observe(0.005)
+        b = MetricsRegistry()
+        b.counter("n").inc(4)
+        b.gauge("g").set(2.0)
+        b.histogram("h").observe(0.005)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 7
+        assert snap["gauges"]["g"] == 7.0
+        assert sum(snap["histograms"]["h"]["counts"]) == 2
+        assert snap["histograms"]["h"]["count"] == 2
+
+    def test_mismatched_histogram_buckets_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h").observe(1.0)
+        snap = a.snapshot()
+        snap["histograms"]["h"]["buckets"] = [1.0, 2.0]
+        snap["histograms"]["h"]["counts"] = [0, 1, 0]
+        b = MetricsRegistry()
+        b.histogram("h").observe(1.0)
+        with pytest.raises(ValueError):
+            b.merge(snap)
+
+
+class TestSnapshotDeterminism:
+    def test_snapshot_independent_of_insertion_order(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        a.counter("y", motif="M(3,2)").inc(2)
+        b = MetricsRegistry()
+        b.counter("y", motif="M(3,2)").inc(2)
+        b.counter("x").inc()
+        assert a.snapshot() == b.snapshot()
+        assert a.render_prometheus() == b.render_prometheus()
+
+    def test_snapshot_is_a_deep_copy(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        snap = reg.snapshot()
+        reg.counter("x").inc()
+        assert snap["counters"]["x"] == 1
+
+
+class TestLabelEscaping:
+    def test_commas_and_equals_in_label_values_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("p2.dp.windows", motif="M(3,2)", expr="a=b").inc()
+        key = next(iter(reg.snapshot()["counters"]))
+        name, labels = split_key(key)
+        assert name == "p2.dp.windows"
+        assert dict(labels) == {"motif": "M(3,2)", "expr": "a=b"}
+
+    def test_backslash_in_label_value_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path="a\\b,c=d").inc()
+        _, labels = split_key(next(iter(reg.snapshot()["counters"])))
+        assert dict(labels) == {"path": "a\\b,c=d"}
+
+    def test_prometheus_rendering_quotes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("p1.matches", motif="M(3,2)").inc(5)
+        out = reg.render_prometheus()
+        assert 'p1_matches_total{motif="M(3,2)"} 5' in out
+
+
+class TestPrometheusExposition:
+    def test_counter_gauge_histogram_families(self):
+        reg = MetricsRegistry()
+        reg.counter("stream.events").inc(10)
+        reg.gauge("stream.watermark_lag").set(1.5)
+        reg.histogram("p2.window_seconds").observe(0.05)
+        out = reg.render_prometheus()
+        assert "# TYPE stream_events_total counter" in out
+        assert "stream_events_total 10" in out
+        assert "# TYPE stream_watermark_lag gauge" in out
+        assert "# TYPE p2_window_seconds histogram" in out
+        assert 'p2_window_seconds_bucket{le="+Inf"} 1' in out
+        assert "p2_window_seconds_count 1" in out
+        assert out.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        out = render_prometheus(reg.snapshot())
+        assert 'h_bucket{le="1"} 1' in out
+        assert 'h_bucket{le="10"} 2' in out
+        assert 'h_bucket{le="+Inf"} 3' in out
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+        assert "no metrics" in render_text(MetricsRegistry().snapshot())
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert metrics.active() is None
+
+    def test_activate_returns_previous(self):
+        reg = MetricsRegistry()
+        prev = metrics.activate(reg)
+        try:
+            assert metrics.active() is reg
+        finally:
+            metrics.activate(prev)
+        assert metrics.active() is prev
+
+    def test_activation_is_thread_local(self):
+        reg = MetricsRegistry()
+        prev = metrics.activate(reg)
+        seen = []
+        try:
+            t = threading.Thread(target=lambda: seen.append(metrics.active()))
+            t.start()
+            t.join()
+        finally:
+            metrics.activate(prev)
+        assert seen == [None]
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

@@ -1,0 +1,174 @@
+"""End-to-end observability acceptance: one parallel search, one tree.
+
+The ISSUE 7 acceptance criteria, as tests:
+
+* a process-backend search over >= 2 shards yields a *single* stitched
+  trace tree whose span ids provably cross the worker boundary (distinct
+  pid prefixes);
+* per-phase span totals reconcile with ``SearchResult.shard_timings``
+  within 5%;
+* with observability disabled nothing is recorded, nothing leaks onto
+  the thread state, and task envelopes are passed through untouched.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro import obs
+from repro.core.engine import FlowMotifEngine
+from repro.core.motif import Motif
+from repro.graph.interaction import InteractionGraph
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing as obs_tracing
+from repro.obs.tracing import span_totals, stitch_trace
+from repro.parallel import ParallelFlowMotifEngine
+
+
+def _graph(num_events=2500, nodes=30, horizon=400.0, seed=5):
+    rng = random.Random(seed)
+    g = InteractionGraph()
+    for _ in range(num_events):
+        u, v = rng.sample(range(nodes), 2)
+        g.add_interaction(
+            f"n{u}", f"n{v}", rng.uniform(0.0, horizon), rng.uniform(1.0, 9.0)
+        )
+    return g
+
+
+MOTIF = Motif.chain(3, delta=40.0, phi=0.0)
+
+
+class TestStitchedParallelTrace:
+    @pytest.fixture(scope="class")
+    def observed(self):
+        graph = _graph()
+        with ParallelFlowMotifEngine(
+            graph, jobs=2, shards=4, backend="process"
+        ) as engine:
+            with obs.observe() as observation:
+                result = engine.find_instances(MOTIF, collect=False)
+        return observation, result
+
+    def test_single_stitched_root(self, observed):
+        observation, _result = observed
+        roots = stitch_trace(observation.spans())
+        assert len(roots) == 1
+        assert roots[0].span.name == "query.find_instances"
+        shard_tasks = [
+            c for c in roots[0].children
+            if c.span.name == "worker.shard_task"
+        ]
+        assert len(shard_tasks) == 4
+        for task in shard_tasks:
+            names = sorted(c.span.name for c in task.children)
+            assert names == ["p1.match", "p2.enumerate"]
+
+    def test_span_ids_cross_worker_boundary(self, observed):
+        observation, _result = observed
+        spans = observation.spans()
+        pids = {s["span_id"].split("-", 1)[0] for s in spans}
+        assert len(pids) >= 2, "expected spans from at least two processes"
+        here = f"{os.getpid():x}"
+        assert here in pids  # the dispatcher's query span
+        worker_pids = {
+            s["span_id"].split("-", 1)[0]
+            for s in spans
+            if s["name"] == "worker.shard_task"
+        }
+        assert worker_pids and here not in worker_pids
+        # Every span belongs to the one trace.
+        assert len({s["trace_id"] for s in spans}) == 1
+
+    def test_phase_totals_reconcile_with_shard_timings(self, observed):
+        """P1/P2 span time must agree with the engine's own accounting
+        (within 5%, the acceptance bound — same Timer blocks)."""
+        observation, result = observed
+        totals = span_totals(observation.spans())
+        timings = result.shard_timings
+        assert timings is not None
+        p1_reported = sum(s.p1_seconds for s in timings.shards)
+        p2_reported = sum(s.p2_seconds for s in timings.shards)
+        assert totals["p1.match"] == pytest.approx(
+            p1_reported, rel=0.05, abs=0.005
+        )
+        assert totals["p2.enumerate"] == pytest.approx(
+            p2_reported, rel=0.05, abs=0.005
+        )
+
+    def test_counters_reconcile_with_result(self, observed):
+        observation, result = observed
+        counters = observation.snapshot()["counters"]
+        assert counters["p1.matches"] == result.num_matches
+        assert counters["p2.instances"] == result.count
+        gauges = observation.snapshot()["gauges"]
+        assert gauges["parallel.num_shards"] == 4
+        assert gauges["parallel.shard_imbalance_ratio"] >= 1.0
+
+    def test_observed_count_matches_unobserved(self, observed):
+        _observation, result = observed
+        serial = FlowMotifEngine(_graph()).find_instances(
+            MOTIF, collect=False
+        )
+        assert result.count == serial.count
+
+
+class TestThreadBackendTrace:
+    def test_thread_backend_stitches_single_root(self):
+        graph = _graph(num_events=600)
+        with obs.observe() as observation:
+            engine = ParallelFlowMotifEngine(
+                graph, jobs=2, shards=2, backend="thread"
+            )
+            engine.find_instances(MOTIF, collect=False)
+        roots = stitch_trace(observation.spans())
+        assert len(roots) == 1
+        names = [c.span.name for c in roots[0].children]
+        assert names.count("worker.shard_task") == 2
+        # Dispatcher state must be restored after per-task activation.
+        assert obs_metrics.active() is None
+        assert obs_tracing.active() is None
+
+
+class TestNoopMode:
+    def test_disabled_records_nothing_and_leaks_nothing(self):
+        assert obs_metrics.active() is None
+        assert obs_tracing.active() is None
+        graph = _graph(num_events=400)
+        with ParallelFlowMotifEngine(
+            graph, jobs=2, shards=2, backend="process"
+        ) as engine:
+            engine.find_instances(MOTIF, collect=False)
+        assert obs_metrics.active() is None
+        assert obs_tracing.active() is None
+
+    def test_task_envelopes_untouched_when_disabled(self):
+        graph = _graph(num_events=200)
+        engine = ParallelFlowMotifEngine(
+            graph, jobs=1, shards=2, backend="serial"
+        )
+        tasks = ["sentinel-a", "sentinel-b"]
+        assert engine._wrap_traced(tasks) is tasks
+
+    def test_observation_scoped_to_with_block(self):
+        graph = _graph(num_events=300)
+        engine = FlowMotifEngine(graph)
+        with obs.observe() as observation:
+            engine.find_instances(MOTIF, collect=False)
+        before = len(observation.spans())
+        engine.find_instances(MOTIF, collect=False)  # outside the block
+        assert len(observation.spans()) == before
+        assert observation.snapshot()["counters"]["p2.instances"] > 0
+
+    def test_sink_round_trip(self, tmp_path):
+        graph = _graph(num_events=300)
+        path = str(tmp_path / "obs.jsonl")
+        with obs.observe() as observation:
+            FlowMotifEngine(graph).find_instances(MOTIF, collect=False)
+        observation.write_jsonl(path)
+        snapshot, spans, _events = obs.load_observations([path])
+        assert snapshot["counters"] == observation.snapshot()["counters"]
+        assert len(spans) == len(observation.spans())
+        roots = stitch_trace(spans)
+        assert len(roots) == 1

@@ -141,7 +141,8 @@ class TestLateEvents:
         detector = self._fed(slack=5.0, late="drop")
         detector.add("a", "b", 2.0, 1.0)
         detector.add("a", "b", 7.0, 1.0)
-        stats = detector.stats()
+        with pytest.warns(DeprecationWarning, match="metrics"):
+            stats = detector.stats()
         assert stats["slack"] == 5.0
         assert stats["late_dropped"] == 1
         assert stats["pending"] == detector.pending_count

@@ -31,6 +31,28 @@ class TestTimer:
     def test_unknown_phase_is_zero(self):
         assert Stopwatch().total("nothing") == 0.0
 
+    def test_stopwatch_concurrent_adds_are_exact(self):
+        """Regression: add() is a read-modify-write; without the lock,
+        concurrent threads lose updates and the total drifts low."""
+        import threading
+
+        watch = Stopwatch()
+        threads = 8
+        per_thread = 2000
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                watch.add("phase", 1.0)
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert watch.total("phase") == float(threads * per_thread)
+
 
 class TestTables:
     def test_alignment(self):
