@@ -95,7 +95,25 @@ def _run_experiments(args: argparse.Namespace, names: List[str]) -> int:
 
 
 def _cmd_find(args: argparse.Namespace) -> int:
-    graph = graph_io.read_csv(args.edges, on_error=args.on_error)
+    if (args.edges is None) == (args.store is None):
+        print(
+            "error: pass exactly one input — an edge-list file or "
+            "--store DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store is not None:
+        from repro.graph.segments import SegmentCorruptionError, SegmentStore
+
+        try:
+            graph = SegmentStore(
+                args.store, create=False
+            ).search_graph()
+        except (FileNotFoundError, SegmentCorruptionError) as exc:
+            print(f"error: cannot open store: {exc}", file=sys.stderr)
+            return 2
+    else:
+        graph = graph_io.read_csv(args.edges, on_error=args.on_error)
     try:
         motif = Motif.from_string(args.motif, args.delta, args.phi)
     except ValueError as exc:
@@ -159,6 +177,110 @@ def _cmd_find(args: argparse.Namespace) -> int:
     for instance in instances[: args.limit]:
         print(json.dumps(instance.as_dict()))
     return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream an edge list into a durable segment store (seal batches)."""
+    from repro.graph.segments import SegmentStore
+
+    store = SegmentStore(args.store)
+    events = 0
+    sealed = []
+    quarantined = 0
+
+    def quarantine(line_number: int, message: str, _raw: str) -> None:
+        nonlocal quarantined
+        quarantined += 1
+        if quarantined <= 5:
+            print(
+                f"[ingest] quarantined line {line_number}: {message}",
+                file=sys.stderr,
+            )
+
+    source = sys.stdin if args.edges == "-" else args.edges
+    try:
+        for it in graph_io.iter_csv_interactions(
+            source,
+            on_error="raise" if args.strict else "skip",
+            error_sink=None if args.strict else quarantine,
+        ):
+            try:
+                store.append(it.src, it.dst, it.time, it.flow)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            events += 1
+            if args.seal_every and store.memtable_events >= args.seal_every:
+                sealed.append(store.seal())
+    except graph_io.InteractionFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, EOFError) as exc:
+        # Keep everything already sealed; the memtable tail seals below,
+        # so an interrupted ingest loses nothing that was read.
+        print(f"error: input stream failed: {exc}", file=sys.stderr)
+    name = store.seal()
+    if name is not None:
+        sealed.append(name)
+    extras = f", {quarantined} malformed lines quarantined" if quarantined else ""
+    print(
+        f"[ingest] {events} events into {args.store}: "
+        f"{len(sealed)} segment(s) sealed "
+        f"({', '.join(sealed) if sealed else 'none'}){extras}",
+        file=sys.stderr,
+    )
+    if args.compact and len(store.live_segments()) > 1:
+        merged = store.compact()
+        print(f"[ingest] compacted into {merged}", file=sys.stderr)
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.graph.segments import SegmentCorruptionError, SegmentStore
+
+    try:
+        store = SegmentStore(args.store, create=False)
+        live_before = store.live_segments()
+        name = store.compact()
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SegmentCorruptionError as exc:
+        print(f"error: store is damaged, run fsck first: {exc}", file=sys.stderr)
+        return 1
+    if name is None:
+        print(
+            f"[compact] nothing to do ({len(live_before)} live segment(s))",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"[compact] {len(live_before)} segment(s) -> {name}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.graph.segments import SegmentCorruptionError
+    from repro.graph.segments import fsck as run_fsck
+
+    if not args.quiet:
+        mode = "dry-run (report only)" if args.dry_run else "repair"
+        print(f"[fsck] scanning {args.store} ({mode})", file=sys.stderr)
+    try:
+        report = run_fsck(args.store, repair=not args.dry_run)
+    except SegmentCorruptionError as exc:
+        print(f"error: manifest is damaged beyond fsck: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    for name, reason in report.corrupted:
+        print(f"  corrupt: {name}: {reason}")
+    for name in report.missing:
+        print(f"  missing: {name} (sealed in manifest, no file on disk)")
+    for name in report.unmanifested:
+        print(f"  unmanifested: {name} (seal crashed before its manifest record)")
+    return 0 if report.ok else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -282,7 +404,7 @@ def _write_checkpoint(detector, path: str) -> None:
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.core.streaming import StreamingDetector
-    from repro.resilience.checkpoint import CheckpointError
+    from repro.resilience.checkpoint import CheckpointError, load_checkpoint
 
     strict = args.strict
     if args.on_error is not None:
@@ -311,8 +433,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.resume:
         try:
             with open(args.resume, "r", encoding="utf-8") as handle:
-                detector = StreamingDetector.restore(json.load(handle))
-        except (OSError, ValueError, CheckpointError) as exc:
+                detector = StreamingDetector.restore(load_checkpoint(handle.read()))
+        except (OSError, CheckpointError) as exc:
             print(f"error: cannot resume from {args.resume}: {exc}", file=sys.stderr)
             return 2
         print(
@@ -450,7 +572,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     find_parser = sub.add_parser("find", help="search motifs in an edge list")
-    find_parser.add_argument("edges", help="CSV/TSV file: src,dst,time,flow")
+    find_parser.add_argument(
+        "edges", nargs="?", default=None,
+        help="CSV/TSV file: src,dst,time,flow (or use --store)",
+    )
+    find_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help=(
+            "search a durable segment store (from 'flow-motifs ingest') "
+            "instead of an edge-list file; parallel workers mmap the "
+            "sealed segments zero-copy"
+        ),
+    )
     find_parser.add_argument(
         "--motif", default="M(3,3)",
         help="catalog name or dashed path, e.g. M(3,3) or 0-1-2-0",
@@ -584,6 +717,60 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    ingest_parser = sub.add_parser(
+        "ingest",
+        help="load an edge list into a durable on-disk segment store",
+    )
+    ingest_parser.add_argument(
+        "edges", help="CSV/TSV file: src,dst,time,flow ('-' for stdin)"
+    )
+    ingest_parser.add_argument(
+        "store", metavar="STORE_DIR",
+        help="segment store directory (created if missing)",
+    )
+    ingest_parser.add_argument(
+        "--seal-every", type=int, default=0, dest="seal_every",
+        metavar="N",
+        help=(
+            "seal a segment every N ingested events (default 0: one "
+            "segment for the whole input)"
+        ),
+    )
+    ingest_parser.add_argument(
+        "--compact", action="store_true",
+        help="merge all live segments into one after ingesting",
+    )
+    ingest_parser.add_argument(
+        "--strict", action="store_true",
+        help="abort (exit 2) on malformed lines instead of quarantining",
+    )
+
+    compact_parser = sub.add_parser(
+        "compact",
+        help="merge a store's live segments into one sealed segment",
+    )
+    compact_parser.add_argument(
+        "store", metavar="STORE_DIR", help="segment store directory"
+    )
+
+    fsck_parser = sub.add_parser(
+        "fsck",
+        help=(
+            "verify a segment store's checksums and manifest; quarantine "
+            "damage and reap crash leftovers"
+        ),
+    )
+    fsck_parser.add_argument(
+        "store", metavar="STORE_DIR", help="segment store directory"
+    )
+    fsck_parser.add_argument(
+        "--dry-run", action="store_true", dest="dry_run",
+        help="report problems without quarantining or deleting anything",
+    )
+    fsck_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the scan banner"
+    )
+
     metrics_parser = sub.add_parser(
         "metrics",
         help="render observability JSON-lines files (from --metrics-out)",
@@ -609,6 +796,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_find(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
+    if args.command == "compact":
+        return _cmd_compact(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "all":

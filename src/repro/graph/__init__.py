@@ -12,6 +12,9 @@ interaction time series ``R(u, v)`` (Figure 5 of the paper).
 * :class:`~repro.graph.timeseries.EdgeSeries` — one series ``R(u, v)``.
 * :class:`~repro.graph.columnar.ColumnStore` — flat columnar storage of all
   series with zero-copy views and shared-memory export/attach.
+* :class:`~repro.graph.segments.SegmentStore` — durable tier: checksummed
+  mmap'd sealed segment files with an append-only manifest, LSM-style
+  seal/compact lifecycle, and fsck recovery.
 """
 
 from repro.graph.columnar import (
@@ -19,6 +22,17 @@ from repro.graph.columnar import (
     ColumnStore,
     GrowableColumnStore,
     columnarize,
+)
+from repro.graph.segments import (
+    FsckReport,
+    SegmentColumnStore,
+    SegmentCorruptionError,
+    SegmentManifest,
+    SegmentStore,
+    fsck,
+    open_segment,
+    verify_segment,
+    write_segment,
 )
 from repro.graph.events import Interaction
 from repro.graph.interaction import InteractionGraph
@@ -38,4 +52,13 @@ __all__ = [
     "ColumnarEdgeSeries",
     "GrowableColumnStore",
     "columnarize",
+    "FsckReport",
+    "SegmentColumnStore",
+    "SegmentCorruptionError",
+    "SegmentManifest",
+    "SegmentStore",
+    "fsck",
+    "open_segment",
+    "verify_segment",
+    "write_segment",
 ]

@@ -47,6 +47,8 @@ from repro.resilience import shm_registry as _shm_registry
 from repro.resilience.shm_registry import (
     SEGMENT_HEADER as _HEADER,
     SEGMENT_MAGIC as _MAGIC,
+    SHM_FORMAT_VERSION as _SHM_VERSION,
+    SegmentCorruptionError,
 )
 
 __all__ = [
@@ -367,7 +369,7 @@ class ColumnStore:
             create=True, size=max(total, 1), name=name
         )
         buf = shm.buf
-        _HEADER.pack_into(buf, 0, _MAGIC, 1, len(meta))
+        _HEADER.pack_into(buf, 0, _MAGIC, _SHM_VERSION, len(meta))
         buf[_HEADER.size : _HEADER.size + len(meta)] = meta
         offsets_v, times_v, flows_v, cum_v = _carve(
             buf, len(meta), self.num_series, self.num_events
@@ -392,25 +394,65 @@ class ColumnStore:
         The attached store does not own the block: ``close()`` releases
         the local mapping only; the exporter is responsible for
         ``unlink``-ing.
+
+        A block that is not a ColumnStore export — too short for the
+        header, wrong magic, unsupported format version, or metadata
+        that does not decode — raises a typed
+        :class:`~repro.resilience.SegmentCorruptionError` instead of
+        misreading foreign bytes as graph data.
         """
         shm = _open_shared_memory(name)
         buf = shm.buf
+        size = len(buf)  # close() releases buf: snapshot before erroring
+        if size < _HEADER.size:
+            shm.close()
+            raise SegmentCorruptionError(
+                f"shared memory block {name!r} is {size} bytes — too "
+                "short to hold a ColumnStore header; not ours"
+            )
         magic, version, meta_len = _HEADER.unpack_from(buf, 0)
         if magic != _MAGIC:
             shm.close()
-            raise ValueError(
-                f"shared memory block {name!r} is not a ColumnStore export"
+            raise SegmentCorruptionError(
+                f"shared memory block {name!r} is not a ColumnStore "
+                f"export (magic {magic!r})"
             )
-        if version != 1:
+        if version != _SHM_VERSION:
             shm.close()
-            raise ValueError(
-                f"unsupported ColumnStore format version {version}"
+            raise SegmentCorruptionError(
+                f"shared memory block {name!r} has ColumnStore format "
+                f"version {version}; this build attaches version "
+                f"{_SHM_VERSION}"
             )
-        meta = json.loads(
-            bytes(buf[_HEADER.size : _HEADER.size + meta_len]).decode("utf-8")
-        )
-        pairs = [(src, dst) for src, dst in meta["pairs"]]
-        num_series, num_events = meta["num_series"], meta["num_events"]
+        if _HEADER.size + meta_len > size:
+            shm.close()
+            raise SegmentCorruptionError(
+                f"shared memory block {name!r} metadata ({meta_len} "
+                f"bytes) overruns the {size}-byte block"
+            )
+        try:
+            meta = json.loads(
+                bytes(buf[_HEADER.size : _HEADER.size + meta_len]).decode(
+                    "utf-8"
+                )
+            )
+            pairs = [(src, dst) for src, dst in meta["pairs"]]
+            num_series, num_events = (
+                int(meta["num_series"]),
+                int(meta["num_events"]),
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            shm.close()
+            raise SegmentCorruptionError(
+                f"shared memory block {name!r} carries a ColumnStore "
+                f"header but its metadata does not decode: {exc}"
+            ) from exc
+        if _layout(meta_len, num_series, num_events)[-1] > size:
+            shm.close()
+            raise SegmentCorruptionError(
+                f"shared memory block {name!r} is smaller than the "
+                "column layout its metadata promises"
+            )
         offsets_v, times_v, flows_v, cum_v = _carve(
             buf, meta_len, num_series, num_events
         )
@@ -707,6 +749,22 @@ class GrowableColumnStore:
     def to_graph(self) -> TimeSeriesGraph:
         """Shorthand for ``snapshot().to_graph()``."""
         return self.snapshot().to_graph()
+
+    def seal_to(self, path: str) -> dict:
+        """Freeze the buffer and seal it into a durable segment file.
+
+        ``seal_to(path)`` is ``snapshot()`` plus
+        :func:`repro.graph.segments.write_segment`: the atomic
+        tmp-fsync-rename protocol with per-column CRCs, so the ingested
+        events survive any crash from the rename on. Returns the
+        segment metadata (including the column CRCs). The buffer itself
+        is left untouched — callers managing an LSM lifecycle should
+        use :class:`~repro.graph.segments.SegmentStore`, which also
+        resets the memtable and records the seal in its manifest.
+        """
+        from repro.graph.segments import write_segment
+
+        return write_segment(self.snapshot(), path)
 
 
 def columnarize(

@@ -309,7 +309,12 @@ class ParallelFlowMotifEngine:
 
         Zero-copy mode envelopes the inner task as ``("columnar",
         shm_name, shard.bounds, kind, *args)`` — the only per-worker
-        payload is the shared-memory name and five numbers. Other modes
+        payload is the shared-memory name and five numbers. A graph
+        backed by a durable sealed segment
+        (:class:`~repro.graph.segments.SegmentColumnStore`) ships
+        ``("segment", path, shard.bounds, kind, *args)`` instead:
+        workers mmap the file themselves, so no shm export is ever
+        created and graphs larger than RAM fan out by path. Other modes
         ship the materialized shard inline: ``(kind, shard, *args)``.
 
         A single shard never leaves this process (``_dispatch`` runs it
@@ -325,6 +330,13 @@ class ParallelFlowMotifEngine:
         repeat queries on the same partition pay the copy once.
         """
         if self._zero_copy and len(shards) > 1:
+            base = getattr(self._ts, "_column_store", None)
+            segment_path = getattr(base, "path", None)
+            if segment_path is not None:
+                return [
+                    ("segment", str(segment_path), shard.bounds, kind) + args
+                    for shard in shards
+                ]
             try:
                 name = self._shared_store().shm_name
             except (TypeError, ValueError, OSError):

@@ -256,6 +256,11 @@ def batch_search_shard(
 #: store amortizes the only non-trivial setup cost of the columnar path.
 _ATTACHED: Dict[str, Tuple[ColumnStore, TimeSeriesGraph]] = {}
 
+#: Per-process cache of mmap'd durable segments, keyed by file path —
+#: the file-tier twin of :data:`_ATTACHED`. Validation (every CRC) runs
+#: once per process on first map; later shard tasks reuse the view.
+_MAPPED: Dict[str, Tuple[ColumnStore, TimeSeriesGraph]] = {}
+
 
 def _attached_graph(shm_name: str) -> TimeSeriesGraph:
     """The columnar graph view of one shared store (cached per process)."""
@@ -267,19 +272,39 @@ def _attached_graph(shm_name: str) -> TimeSeriesGraph:
     return entry[1]
 
 
+def _mapped_graph(path: str) -> TimeSeriesGraph:
+    """The columnar graph view of one sealed segment file (cached).
+
+    Workers never quarantine: a corrupt segment raises
+    :class:`~repro.resilience.SegmentCorruptionError` back to the
+    dispatcher (classified as a task error, not retried into the same
+    corruption forever thanks to the retry policy's bounded rounds);
+    the *owner* of the store decides about renaming files.
+    """
+    entry = _MAPPED.get(path)
+    if entry is None:
+        from repro.graph.segments import open_segment
+
+        store = open_segment(path, quarantine=False)
+        entry = (store, store.to_graph())
+        _MAPPED[path] = entry
+    return entry[1]
+
+
 def detach_all() -> None:
     """Drop every cached attachment (test hygiene; workers never need it
     — process exit releases the mappings)."""
-    while _ATTACHED:
-        _, (store, graph) = _ATTACHED.popitem()
-        # Free the graph's series views before closing: they hold
-        # memoryviews over the store's buffers, and a mapping with live
-        # exports cannot be closed.
-        del graph
-        try:
-            store.close()
-        except BufferError:  # a shard slice outlives us; OS cleans up
-            pass
+    for cache in (_ATTACHED, _MAPPED):
+        while cache:
+            _, (store, graph) = cache.popitem()
+            # Free the graph's series views before closing: they hold
+            # memoryviews over the store's buffers, and a mapping with
+            # live exports cannot be closed.
+            del graph
+            try:
+                store.close()
+            except BufferError:  # a shard slice outlives us; OS cleans up
+                pass
 
 
 def run_shard_task(task: Tuple) -> object:
@@ -295,6 +320,14 @@ def run_shard_task(task: Tuple) -> object:
     shared buffers, and runs the inner task — the payload that crossed
     the process boundary is a name and five numbers instead of pickled
     event lists.
+
+    The ``"segment"`` kind is the same light-shard envelope over the
+    durable tier: ``("segment", file_path, shard_bounds, inner_kind,
+    args...)``. The worker mmaps the sealed segment (validated once per
+    process, cached in :data:`_MAPPED`) instead of attaching shm — so a
+    graph larger than RAM fans out with only its path crossing the
+    process boundary, and the OS pages in exactly the ranges each shard
+    touches.
     """
     kind, args = task[0], task[1:]
     if kind == "traced":
@@ -302,6 +335,10 @@ def run_shard_task(task: Tuple) -> object:
     if kind == "columnar":
         shm_name, bounds, inner_kind = args[0], args[1], args[2]
         shard = materialize_shard(_attached_graph(shm_name), bounds)
+        return run_shard_task((inner_kind, shard) + tuple(args[3:]))
+    if kind == "segment":
+        path, bounds, inner_kind = args[0], args[1], args[2]
+        shard = materialize_shard(_mapped_graph(path), bounds)
         return run_shard_task((inner_kind, shard) + tuple(args[3:]))
     # Chaos hook: a no-op dict lookup unless a fault plan is armed in the
     # environment (tests/resilience). Placed on the unwrapped path so a

@@ -28,11 +28,14 @@ arrive in perfect time order. This package drops those assumptions:
   corrupt lines) with deterministic seeded randomness.
 """
 
+from repro.resilience.checkpoint import CheckpointError, load_checkpoint
 from repro.resilience.faultinject import (
     FaultPlan,
     FaultSpec,
     InjectedFault,
     corrupt_lines,
+    crash_at,
+    crash_point,
     drop_events,
     duplicate_events,
     inject,
@@ -47,29 +50,37 @@ from repro.resilience.retry import (
     classify_error,
 )
 from repro.resilience.shm_registry import (
+    SegmentCorruptionError,
     active_segments,
     cleanup_segments,
     reap_orphans,
     scan_orphans,
+    scan_store_orphans,
 )
 
 __all__ = [
+    "CheckpointError",
     "DispatchReport",
     "FaultEvent",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
     "RetryPolicy",
+    "SegmentCorruptionError",
     "ShardExecutionError",
     "ShardTimeoutError",
     "active_segments",
     "classify_error",
     "cleanup_segments",
     "corrupt_lines",
+    "crash_at",
+    "crash_point",
     "drop_events",
     "duplicate_events",
     "inject",
+    "load_checkpoint",
     "reap_orphans",
     "reorder_within_slack",
     "scan_orphans",
+    "scan_store_orphans",
 ]

@@ -32,6 +32,7 @@ that cannot round-trip.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, List, Optional, Tuple
 
 FORMAT = "repro-streaming-checkpoint"
@@ -45,6 +46,28 @@ _JSON_NODE_TYPES = (str, int, float, bool)
 
 class CheckpointError(ValueError):
     """A checkpoint cannot be produced or is malformed/unsupported."""
+
+
+def load_checkpoint(text: str) -> Dict[str, Any]:
+    """Parse checkpoint JSON text into a state dict, typed-error only.
+
+    Truncated or otherwise invalid JSON (the torn-write shape a crash
+    mid-``--checkpoint`` leaves behind), or JSON that is not a
+    streaming-checkpoint object, raises :class:`CheckpointError` — never
+    a raw ``json`` error. Pair with :func:`restore_detector`, which
+    applies the same contract to the dict's *contents*.
+    """
+    try:
+        state = json.loads(text)
+    except ValueError as exc:
+        raise CheckpointError(
+            f"checkpoint is not valid JSON (truncated write?): {exc}"
+        ) from exc
+    if not isinstance(state, dict) or state.get("format") != FORMAT:
+        raise CheckpointError(
+            "not a streaming checkpoint (missing/wrong 'format' field)"
+        )
+    return state
 
 
 def _encode_anchor(value: float) -> Optional[float]:

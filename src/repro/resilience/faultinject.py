@@ -221,6 +221,125 @@ def inject(
 
 
 # ----------------------------------------------------------------------
+# Named crash points (durable-storage chaos)
+# ----------------------------------------------------------------------
+
+CRASH_ENV = "REPRO_CRASH_POINTS"
+
+#: Every crash point the segment-store seal/compaction path registers, in
+#: execution order — the chaos suite iterates this list so a new point
+#: cannot be added without being crash-tested.
+SEAL_CRASH_POINTS = (
+    "segments.seal.before_write",
+    "segments.seal.before_fsync",
+    "segments.seal.after_fsync",
+    "segments.seal.after_rename",
+    "segments.manifest.before_fsync",
+)
+COMPACT_CRASH_POINTS = (
+    "segments.compact.before_seal",
+    "segments.compact.after_seal",
+    "segments.compact.before_reap",
+)
+
+
+def crash_point(name: str) -> None:
+    """Durable-path chaos hook: die/raise here if the environment says so.
+
+    Placed at the seams of the segment seal and compaction protocols
+    (before fsync, between fsync and rename, mid-compaction). Costs one
+    dict lookup when no plan is armed — safe on the production path.
+
+    ``kind="kill"`` sends the *hardest* death available — ``SIGKILL`` to
+    the current process (``os._exit`` where signals are unavailable) —
+    so no flush, no atexit, no finally block softens the crash. Like
+    :class:`FaultSpec`, a plan armed with ``only_children=True`` (the
+    default) never kills the process that armed it.
+    """
+    payload = os.environ.get(CRASH_ENV)
+    if not payload:
+        return
+    plan = json.loads(payload)
+    spec = plan.get("points", {}).get(name)
+    if spec is None:
+        return
+    if spec.get("only_children", True) and os.getpid() == plan.get("owner_pid"):
+        return
+    state_dir = plan.get("state_dir")
+    if state_dir:
+        # One marker file per firing, O_CREAT|O_EXCL — crash at most
+        # `times` attempts, letting retry-after-crash tests converge.
+        n = 0
+        while True:
+            marker = os.path.join(
+                state_dir, f"crash-{name.replace(os.sep, '_')}.{n}"
+            )
+            try:
+                os.close(
+                    os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                )
+                break
+            except FileExistsError:
+                n += 1
+        if n >= spec.get("times", 1):
+            return
+    if spec.get("kind", "kill") == "raise":
+        raise InjectedFault(f"injected crash at {name}")
+    try:
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    except (OSError, AttributeError):  # pragma: no cover - non-POSIX
+        pass
+    os._exit(KILL_EXIT_CODE)  # pragma: no cover - SIGKILL normally lands
+
+
+@contextmanager
+def crash_at(
+    *names: str,
+    kind: str = "kill",
+    times: int = 1,
+    only_children: bool = True,
+    state_dir: Optional[str] = None,
+) -> Iterator[None]:
+    """Arm named crash points for a ``with`` block (env-var transport).
+
+    Child processes started inside the block (subprocess harnesses, pool
+    workers) inherit the plan; ``only_children=False`` also fires in the
+    arming process — only sane with ``kind="raise"``.
+    """
+    if kind not in ("kill", "raise"):
+        raise ValueError(f"crash kind must be kill/raise, got {kind!r}")
+    owned_tmp = None
+    if state_dir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-crash-")
+        state_dir = owned_tmp.name
+    plan = {
+        "owner_pid": os.getpid(),
+        "state_dir": state_dir,
+        "points": {
+            name: {
+                "kind": kind,
+                "times": times,
+                "only_children": only_children,
+            }
+            for name in names
+        },
+    }
+    previous = os.environ.get(CRASH_ENV)
+    os.environ[CRASH_ENV] = json.dumps(plan)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(CRASH_ENV, None)
+        else:
+            os.environ[CRASH_ENV] = previous
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+
+
+# ----------------------------------------------------------------------
 # Stream perturbations
 # ----------------------------------------------------------------------
 

@@ -321,3 +321,91 @@ def test_columnar_view_append_refused():
     )
     with pytest.raises(TypeError, match="zero-copy"):
         graph.series("a", "b").append(2.0, 1.0)
+
+
+class TestAttachTypedErrors:
+    """attach() on a corrupted/foreign block raises the typed error.
+
+    Without these checks, foreign bytes in a same-named block would be
+    misread as graph data (or crash as a KeyError deep in carving).
+    """
+
+    def _export(self, seed=8):
+        ts = _random_graph(seed).to_time_series()
+        return ColumnStore.from_graph(ts).to_shared()
+
+    def _corrupt(self, shared, offset, payload):
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(shared.shm_name)
+        try:
+            block.buf[offset : offset + len(payload)] = payload
+        finally:
+            block.close()
+
+    def test_bad_magic(self):
+        from repro.resilience import SegmentCorruptionError
+
+        shared = self._export()
+        try:
+            self._corrupt(shared, 0, b"NOTOURS!")
+            with pytest.raises(SegmentCorruptionError, match="magic"):
+                ColumnStore.attach(shared.shm_name)
+        finally:
+            shared.close(unlink=True)
+
+    def test_wrong_format_version(self):
+        import struct
+
+        from repro.resilience import SegmentCorruptionError
+
+        shared = self._export()
+        try:
+            self._corrupt(shared, 8, struct.pack("<Q", 999))
+            with pytest.raises(SegmentCorruptionError, match="version"):
+                ColumnStore.attach(shared.shm_name)
+        finally:
+            shared.close(unlink=True)
+
+    def test_metadata_overruns_block(self):
+        import struct
+
+        from repro.resilience import SegmentCorruptionError
+
+        shared = self._export()
+        try:
+            self._corrupt(shared, 16, struct.pack("<Q", 2**40))
+            with pytest.raises(SegmentCorruptionError, match="overruns"):
+                ColumnStore.attach(shared.shm_name)
+        finally:
+            shared.close(unlink=True)
+
+    def test_metadata_garbage(self):
+        from repro.resilience import SegmentCorruptionError
+
+        shared = self._export()
+        try:
+            self._corrupt(shared, 24, b"\xff\xfe{{{{")
+            with pytest.raises(SegmentCorruptionError, match="decode"):
+                ColumnStore.attach(shared.shm_name)
+        finally:
+            shared.close(unlink=True)
+
+    def test_foreign_tiny_block(self):
+        from multiprocessing import shared_memory
+
+        from repro.resilience import SegmentCorruptionError
+
+        block = shared_memory.SharedMemory(create=True, size=4)
+        try:
+            with pytest.raises(SegmentCorruptionError, match="too"):
+                ColumnStore.attach(block.name)
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_typed_error_is_a_value_error(self):
+        """Compat: pre-existing `except ValueError` call sites still work."""
+        from repro.resilience import SegmentCorruptionError
+
+        assert issubclass(SegmentCorruptionError, ValueError)

@@ -21,6 +21,7 @@ from repro.resilience.checkpoint import (
     FORMAT,
     VERSION,
     CheckpointError,
+    load_checkpoint,
     restore_detector,
 )
 
@@ -203,3 +204,61 @@ class TestMalformedCheckpoints:
         state["motif"] = {"path": state["motif"]["path"]}
         with pytest.raises(CheckpointError):
             restore_detector(state)
+
+
+class TestCorruptedCheckpointText:
+    """Torn/rotted checkpoint *files* surface only CheckpointError.
+
+    A crash mid-write leaves a truncated JSON document; bit rot leaves a
+    scrambled one. Restoring through either must raise the typed error —
+    never a raw ``json.JSONDecodeError``/``KeyError``/``TypeError`` from
+    deeper in the stack.
+    """
+
+    def _valid_text(self) -> str:
+        detector = StreamingDetector(Motif.chain(3, delta=10, phi=2))
+        _drive(detector, random_stream(random.Random(13), events=30))
+        return json.dumps(detector.checkpoint())
+
+    def test_truncation_at_any_length_raises_typed_error(self):
+        text = self._valid_text()
+        # every 7th prefix plus the all-important near-complete tails
+        cuts = list(range(0, len(text), 7)) + [len(text) - 2, len(text) - 1]
+        for cut in cuts:
+            with pytest.raises(CheckpointError):
+                StreamingDetector.restore(load_checkpoint(text[:cut]))
+
+    def test_corrupted_byte_raises_typed_error_or_restores(self):
+        text = self._valid_text()
+        rng = random.Random(31)
+        for _ in range(60):
+            index = rng.randrange(len(text))
+            mangled = text[:index] + chr(33 + rng.randrange(90)) + text[index + 1:]
+            try:
+                restored = StreamingDetector.restore(load_checkpoint(mangled))
+            except CheckpointError:
+                continue  # typed rejection: the contract
+            # a flip inside a value can legitimately still parse — but it
+            # must then restore to a *working* detector, never crash later
+            restored.poll()
+
+    def test_not_json_raises_typed_error(self):
+        for garbage in ("", "{", "nul", "\x00\xff", "[1, 2", '{"a": '):
+            with pytest.raises(CheckpointError, match="not valid JSON"):
+                load_checkpoint(garbage)
+
+    def test_json_but_not_a_checkpoint_raises_typed_error(self):
+        for payload in ("[]", "42", '"hi"', "{}", '{"format": "other"}'):
+            with pytest.raises(CheckpointError, match="format"):
+                load_checkpoint(payload)
+
+    def test_valid_text_round_trips(self):
+        text = self._valid_text()
+        original = json.loads(text)
+        restored = StreamingDetector.restore(load_checkpoint(text)).checkpoint()
+        for key in ("format", "version", "watermark", "emitted", "series"):
+            assert restored[key] == original[key]
+        # progress cursors survive as a set (rediscovery order may differ)
+        assert sorted(map(json.dumps, restored["progress"])) == sorted(
+            map(json.dumps, original["progress"])
+        )
