@@ -1,0 +1,330 @@
+"""Adaptive shard sizing benchmark — cost-model cuts vs event quantiles.
+
+The ISSUE 9 acceptance workload: a timeline whose event density is
+heavily skewed (a dense burst followed by a long sparse tail) makes
+event-quantile partitioning cost-blind — shards with equal event counts
+do wildly different amounts of phase-P2 work, because P2 cost grows with
+the number of within-δ neighbours and the burst packs them tight. Three
+measurements, written to ``BENCH_adaptive.json``:
+
+1. **Adaptive vs quantile imbalance**: the same (motif, δ, φ) grid run
+   through :class:`BatchRunner` twice — once on plain event-quantile
+   cuts, once with the EWMA :class:`ShardCostModel` (probe wave on
+   quantile cuts, remaining configurations on cost-balanced re-cuts).
+   Acceptance: the adapted waves show **≥1.3× lower** shard imbalance
+   ratio, with result multisets identical to the serial oracle.
+2. **Profile/trace reconciliation**: a profiled parallel ``find`` whose
+   span-attributed samples must name the same dominant phase as the
+   tracer's span totals.
+3. **Observability overhead**: profiler and flight recorder stay off by
+   default; with counters *on* (and profiler/flight still off, as
+   shipped) the search stays within the existing ≤1.5× budget.
+
+Run directly to print the table and regenerate the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive_sharding.py [--quick] [--out BENCH_adaptive.json]
+
+or through pytest for the regression assertions::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_adaptive_sharding.py -v
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from collections import Counter
+
+import pytest
+
+import harness
+
+from repro import obs
+from repro.core.engine import FlowMotifEngine
+from repro.core.motif import Motif
+from repro.graph.interaction import InteractionGraph
+from repro.parallel import ParallelFlowMotifEngine
+from repro.parallel.batch import BatchRunner, MotifConfig
+
+SHARDS = 8
+HORIZON = 4000.0
+
+
+def _skewed_graph(quick: bool) -> InteractionGraph:
+    """Power-law density gradient: t = horizon·u², u uniform.
+
+    Event density decays as ~t^(-1/2), so every event-quantile shard has
+    a different local density — and since phase-P2 cost per event grows
+    with the number of within-δ neighbours, equal-event shards do very
+    unequal work. (A binary burst would not show this: its interior
+    shards are all equally dense.)
+    """
+    rng = random.Random(7)
+    g = InteractionGraph()
+    nodes = [f"n{i}" for i in range(12)]
+    events = 9000 if quick else 14000
+    for _ in range(events):
+        u, v = rng.sample(nodes, 2)
+        t = HORIZON * rng.random() ** 2
+        g.add_interaction(u, v, t, rng.uniform(0.5, 5.0))
+    return g
+
+
+def _grid():
+    """Same-topology grid: one P1 pass per shard, P2 varies with δ/φ."""
+    base = Motif.chain(3, delta=5.0, phi=0.0)
+    return [
+        MotifConfig(base),
+        MotifConfig(base, phi=0.5),
+        MotifConfig(base, phi=1.0),
+        MotifConfig(base, phi=2.0),
+        MotifConfig(base, delta=4.0),
+        MotifConfig(base, delta=4.0, phi=1.0),
+    ]
+
+
+def _multisets(results):
+    return [Counter(i.canonical_key() for i in r.instances) for r in results]
+
+
+def _adapted_imbalance(results) -> float:
+    """Median imbalance over the non-probe configurations (index ≥ 1).
+
+    The adaptive runner's first configuration always runs on quantile
+    cuts (it *is* the probe), so the comparison restricts both runs to
+    the configurations the model had a chance to influence. The median
+    (not the mean) damps one-off scheduler/GC spikes, which the max/mean
+    per-config ratio is maximally sensitive to.
+    """
+    ratios = [
+        r.shard_timings.imbalance_ratio
+        for r in results[1:]
+        if r.shard_timings is not None
+    ]
+    return statistics.median(ratios) if ratios else 1.0
+
+
+def run_adaptive_benchmark(quick: bool) -> dict:
+    graph = _skewed_graph(quick)
+    configs = _grid()
+
+    # Correctness pass (untimed): full instance multisets of both
+    # partitioners against the serial oracle. Materializing tens of
+    # thousands of instances triggers GC pauses on random shards, so the
+    # imbalance measurement below runs separately with collect=False.
+    serial_results = BatchRunner(graph, jobs=1).run(configs)
+    serial_keys = _multisets(serial_results)
+    results_identical = (
+        _multisets(
+            BatchRunner(graph, jobs=1, shards=SHARDS, backend="serial").run(
+                configs
+            )
+        )
+        == serial_keys
+        and _multisets(
+            BatchRunner(
+                graph, jobs=1, shards=SHARDS, backend="serial", adaptive=True
+            ).run(configs)
+        )
+        == serial_keys
+    )
+
+    # Timing pass (count-only): the actual imbalance comparison.
+    quantile_runner = BatchRunner(
+        graph, jobs=1, shards=SHARDS, backend="serial"
+    )
+    quantile_results = quantile_runner.run(configs, collect=False)
+
+    adaptive_runner = BatchRunner(
+        graph, jobs=1, shards=SHARDS, backend="serial", adaptive=True
+    )
+    adaptive_results = adaptive_runner.run(configs, collect=False)
+
+    quantile_imbalance = _adapted_imbalance(quantile_results)
+    adaptive_imbalance = _adapted_imbalance(adaptive_results)
+    stats = adaptive_runner.last_stats
+    return {
+        "num_events": graph.num_edges,
+        "num_configs": len(configs),
+        "shards": SHARDS,
+        "instances_found": [r.count for r in serial_results],
+        "results_identical": results_identical,
+        "quantile_imbalance": quantile_imbalance,
+        "adaptive_imbalance": adaptive_imbalance,
+        "improvement": quantile_imbalance / max(adaptive_imbalance, 1e-12),
+        "probe_imbalance": stats.get("imbalance_before", 0.0),
+        "adapted_wave_imbalance": stats.get("imbalance_after", 0.0),
+        "prediction_error": stats.get("prediction_error", 0.0),
+    }
+
+
+def run_profile_benchmark(quick: bool) -> dict:
+    """Profiled parallel find: samples vs tracer span totals must agree
+    on the dominant phase (the ISSUE 9 reconciliation bar)."""
+    graph = _skewed_graph(quick)
+    motif = Motif.chain(3, delta=5.0, phi=0.0)
+    with obs.observe(trace=True, profile=True) as observation:
+        with ParallelFlowMotifEngine(
+            graph, jobs=2, shards=4, backend="process"
+        ) as engine:
+            count = engine.find_instances(motif, collect=False).count
+    profile = observation.profile()
+    span_seconds: dict = {}
+    for span in observation.spans():
+        name = span["name"]
+        if name.startswith(("p1.", "p2.")):
+            duration = (span["end"] or span["start"]) - span["start"]
+            span_seconds[name] = span_seconds.get(name, 0.0) + duration
+    dominant_by_time = (
+        max(span_seconds.items(), key=lambda kv: kv[1])[0]
+        if span_seconds
+        else None
+    )
+    dominant_by_samples = profile.dominant_span() if profile else None
+    return {
+        "instances_found": count,
+        "profile_hz": profile.hz if profile else 0.0,
+        "profile_samples": profile.samples if profile else 0,
+        "samples_by_span": dict(profile.by_span) if profile else {},
+        "span_seconds": span_seconds,
+        "dominant_by_samples": dominant_by_samples,
+        "dominant_by_time": dominant_by_time,
+        "dominant_agrees": (
+            dominant_by_samples is not None
+            and dominant_by_samples == dominant_by_time
+        ),
+    }
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_overhead_benchmark(quick: bool) -> dict:
+    """Counters-on vs all-off on the serial search path.
+
+    "Off" is the shipped default — which now includes the profiler's
+    and flight recorder's activation predicates; neither is armed. "On"
+    additionally maintains live counters (profiler/flight still off, as
+    in production). The runs interleave so clock drift cancels.
+    """
+    graph = _skewed_graph(quick).to_time_series()
+    motif = Motif.chain(3, delta=5.0, phi=0.0)
+    engine = FlowMotifEngine(graph)
+    reps = 3
+    off: list = []
+    on: list = []
+    for _ in range(reps):
+        off.append(_timed(lambda: engine.find_instances(motif, collect=False)))
+        with obs.observe(trace=False):
+            on.append(
+                _timed(lambda: engine.find_instances(motif, collect=False))
+            )
+    off_seconds = min(off)
+    on_seconds = min(on)
+    return {
+        "reps": reps,
+        "off_seconds": off_seconds,
+        "on_seconds": on_seconds,
+        "on_over_off": on_seconds / max(off_seconds, 1e-12),
+    }
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    return harness.make_report(
+        "bench_adaptive_sharding",
+        quick,
+        {
+            "adaptive": run_adaptive_benchmark(quick),
+            "profile": run_profile_benchmark(quick),
+            "overhead": run_overhead_benchmark(quick),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (regression assertions; CI runs --quick via main)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_benchmark(quick=True)
+
+
+def test_adaptive_lowers_imbalance_at_least_1_3x(report):
+    """The ISSUE 9 acceptance bar."""
+    improvement = report["adaptive"]["improvement"]
+    assert improvement >= 1.3, (
+        f"adaptive cuts only {improvement:.2f}x better than quantile"
+    )
+
+
+def test_adaptive_results_identical_to_serial(report):
+    assert report["adaptive"]["results_identical"]
+    assert all(c > 0 for c in report["adaptive"]["instances_found"])
+
+
+def test_profile_reconciles_with_tracer(report):
+    profile = report["profile"]
+    assert profile["profile_samples"] > 0
+    assert profile["dominant_agrees"], (
+        f"samples say {profile['dominant_by_samples']}, "
+        f"tracer says {profile['dominant_by_time']}"
+    )
+
+
+def test_observability_overhead_within_budget(report):
+    ratio = report["overhead"]["on_over_off"]
+    assert ratio < 1.5, f"counters-on search {ratio:.2f}x over off"
+
+
+def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced workload (seconds, used by the CI smoke step)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the report JSON to this path",
+    )
+    args = parser.parse_args()
+    report_dict = run_benchmark(quick=args.quick)
+
+    adaptive = report_dict["adaptive"]
+    print(
+        f"adaptive sharding ({adaptive['num_events']} events, "
+        f"{adaptive['num_configs']} configs, {adaptive['shards']} shards):\n"
+        f"  quantile imbalance {adaptive['quantile_imbalance']:.3f}, "
+        f"adaptive {adaptive['adaptive_imbalance']:.3f} "
+        f"({adaptive['improvement']:.2f}x better), "
+        f"prediction error {adaptive['prediction_error']:.3f}, "
+        f"identical results: {adaptive['results_identical']}"
+    )
+    profile = report_dict["profile"]
+    print(
+        f"profiled parallel find: {profile['profile_samples']} samples "
+        f"@ {profile['profile_hz']:g} Hz, dominant by samples "
+        f"{profile['dominant_by_samples']} vs by tracer "
+        f"{profile['dominant_by_time']} "
+        f"(agree: {profile['dominant_agrees']})"
+    )
+    overhead = report_dict["overhead"]
+    print(
+        f"observability overhead: off {overhead['off_seconds']:.3f}s, "
+        f"counters-on {overhead['on_seconds']:.3f}s "
+        f"({overhead['on_over_off']:.2f}x)"
+    )
+    if args.out:
+        harness.write_report(report_dict, args.out)
+        print(f"[saved {args.out}]")
+
+
+if __name__ == "__main__":
+    main()

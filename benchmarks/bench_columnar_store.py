@@ -30,13 +30,14 @@ few seconds while still exercising every measured path.
 
 from __future__ import annotations
 
-import json
 import pickle
 import random
 import time
 from typing import Tuple
 
 import pytest
+
+import harness
 
 from repro.core.dp import max_flow_in_window, top_one_instance
 from repro.core.matching import find_structural_matches
@@ -230,13 +231,15 @@ def run_obs_benchmark(quick: bool) -> dict:
 
 
 def run_benchmark(quick: bool = False) -> dict:
-    return {
-        "benchmark": "bench_columnar_store",
-        "quick": quick,
-        "dp": run_dp_benchmark(quick),
-        "fanout": run_fanout_benchmark(quick),
-        "metrics": run_obs_benchmark(quick),
-    }
+    return harness.make_report(
+        "bench_columnar_store",
+        quick,
+        {
+            "dp": run_dp_benchmark(quick),
+            "fanout": run_fanout_benchmark(quick),
+            "metrics": run_obs_benchmark(quick),
+        },
+    )
 
 
 # ----------------------------------------------------------------------
@@ -334,9 +337,7 @@ def main() -> None:
         f"{obs_report['counters']['p2.dp.cells']:.0f} DP cells counted"
     )
     if args.out:
-        with open(args.out, "w") as fh:
-            json.dump(report_dict, fh, indent=2)
-            fh.write("\n")
+        harness.write_report(report_dict, args.out)
         print(f"[saved {args.out}]")
 
 

@@ -28,13 +28,14 @@ few seconds while still exercising every measured path.
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import tempfile
 import time
 
 import pytest
+
+import harness
 
 from repro.core.engine import FlowMotifEngine
 from repro.core.motif import Motif
@@ -156,12 +157,10 @@ def run_search_benchmark(quick: bool, workdir: str) -> dict:
 
 def run_benchmark(quick: bool = False) -> dict:
     with tempfile.TemporaryDirectory(prefix="bench-segments-") as workdir:
-        return {
-            "benchmark": "bench_segment_store",
-            "quick": quick,
+        return harness.make_report("bench_segment_store", quick, {
             "durability": run_durability_benchmark(quick, workdir),
             "search": run_search_benchmark(quick, workdir),
-        }
+        })
 
 
 # ----------------------------------------------------------------------
@@ -230,9 +229,7 @@ def main() -> None:
         f"{search['mmap_over_memory']:.2f}x vs in-memory)"
     )
     if args.out:
-        with open(args.out, "w") as fh:
-            json.dump(report_dict, fh, indent=2)
-            fh.write("\n")
+        harness.write_report(report_dict, args.out)
         print(f"[saved {args.out}]")
 
 

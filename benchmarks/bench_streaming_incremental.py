@@ -24,13 +24,14 @@ or through pytest for the regression assertions (the CI smoke step)::
 
 from __future__ import annotations
 
-import json
 import random
 import time
 from collections import Counter
 from typing import List, Tuple
 
 import pytest
+
+import harness
 
 from repro.core.motif import Motif
 from repro.core.streaming import StreamingDetector
@@ -124,9 +125,7 @@ def run_benchmark(quick: bool = False) -> dict:
         snap = row.pop("metrics")
         if row["mode"] == "incremental" and row["batch"] == min(BATCH_SIZES):
             metrics = snap
-    return {
-        "benchmark": "bench_streaming_incremental",
-        "quick": quick,
+    return harness.make_report("bench_streaming_incremental", quick, {
         "num_events": num_events,
         "motif": motif.display_name,
         "delta": motif.delta,
@@ -136,7 +135,7 @@ def run_benchmark(quick: bool = False) -> dict:
         "poll_speedup_by_batch": {str(b): s for b, s in by_batch.items()},
         "speedup_smallest_batch": by_batch[min(BATCH_SIZES)],
         "metrics": metrics,
-    }
+    })
 
 
 # ----------------------------------------------------------------------
@@ -215,9 +214,7 @@ def main() -> None:
         f"{counters['stream.heap_pushes']:.0f} heap pushes"
     )
     if args.out:
-        with open(args.out, "w") as fh:
-            json.dump(report_dict, fh, indent=2)
-            fh.write("\n")
+        harness.write_report(report_dict, args.out)
         print(f"[saved {args.out}]")
 
 

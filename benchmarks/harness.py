@@ -1,0 +1,69 @@
+"""Shared schema for the committed ``BENCH_*.json`` benchmark reports.
+
+Every benchmark script builds its report through :func:`make_report`, so
+all committed artifacts carry the same envelope::
+
+    {
+      "schema_version": 1,
+      "benchmark": "<script name>",
+      "git_rev": "<short rev the numbers were measured at>",
+      "quick": false,
+      ... benchmark-specific payload ...
+    }
+
+``schema_version`` lets downstream tooling (dashboards, regression
+diffing) reject artifacts it does not understand; ``git_rev`` ties a
+number to the code that produced it. :func:`write_report` is the single
+serializer, so formatting (indent, trailing newline) never drifts
+between scripts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+
+SCHEMA_VERSION = 1
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def git_rev() -> str:
+    """The short git revision of the working tree, or ``"unknown"``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=_REPO_ROOT,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+def make_report(benchmark: str, quick: bool, payload: dict) -> dict:
+    """Wrap one benchmark's payload in the shared report envelope."""
+    reserved = {"schema_version", "benchmark", "git_rev", "quick"}
+    clash = reserved & set(payload)
+    if clash:
+        raise ValueError(f"payload shadows envelope fields: {sorted(clash)}")
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "git_rev": git_rev(),
+        "quick": bool(quick),
+    }
+    report.update(payload)
+    return report
+
+
+def write_report(report: dict, path: str) -> str:
+    """Serialize one report the way every committed artifact is."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return path

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -34,6 +35,27 @@ from repro.core.motif import PAPER_MOTIF_PATHS, Motif
 from repro.experiments import EXPERIMENTS
 from repro.experiments.report import render, save_result
 from repro.graph import io as graph_io
+
+
+def _add_profile_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "sample the run with the built-in wall-clock profiler and "
+            "print span-attributed hot frames to stderr"
+        ),
+    )
+    parser.add_argument(
+        "--profile-hz", type=float, default=97.0, dest="profile_hz",
+        help="profiler sampling rate (default 97 Hz)",
+    )
+    parser.add_argument(
+        "--profile-out", default=None, metavar="PATH", dest="profile_out",
+        help=(
+            "write collapsed stacks ('span;frame;... count' lines — "
+            "flamegraph.pl / speedscope input) to PATH"
+        ),
+    )
 
 
 def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
@@ -132,10 +154,13 @@ def _cmd_find(args: argparse.Namespace) -> int:
     else:
         engine = FlowMotifEngine(graph)
     observation = None
-    if args.trace or args.metrics_out:
+    profiling = bool(args.profile or args.profile_out)
+    if args.trace or args.metrics_out or profiling:
         from repro import obs as _obs
 
-        observation = _obs.observe(trace=True)
+        observation = _obs.observe(
+            trace=True, profile=profiling, profile_hz=args.profile_hz
+        )
         observation.__enter__()
     try:
         if args.top:
@@ -168,6 +193,15 @@ def _cmd_find(args: argparse.Namespace) -> int:
         if args.trace:
             print(observation.render_trace(), file=sys.stderr)
             print(observation.render_text(), file=sys.stderr)
+        profile_report = observation.profile()
+        if args.profile and profile_report is not None:
+            print(observation.render_profile(), file=sys.stderr)
+        if args.profile_out and profile_report is not None:
+            profile_report.write_collapsed(args.profile_out)
+            print(
+                f"[collapsed stacks written to {args.profile_out}]",
+                file=sys.stderr,
+            )
         if args.metrics_out:
             observation.write_jsonl(args.metrics_out)
             print(
@@ -307,6 +341,27 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         print(render_text(snapshot))
     else:
         print(render_prometheus(snapshot), end="")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import load_profiles
+
+    try:
+        report = load_profiles(args.files)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read profiles: {exc}", file=sys.stderr)
+        return 2
+    if report.samples == 0:
+        print("(no profile records found)", file=sys.stderr)
+        return 1
+    if args.collapsed_out:
+        report.write_collapsed(args.collapsed_out)
+        print(
+            f"[collapsed stacks written to {args.collapsed_out}]",
+            file=sys.stderr,
+        )
+    print(report.render_text(args.top))
     return 0
 
 
@@ -450,6 +505,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             slack=args.slack,
             late="raise" if strict else "drop",
         )
+    profiler = None
+    if args.profile or args.profile_out:
+        from repro.obs.profiler import Profiler
+
+        # The detector is single-threaded: one profiler pinned to this
+        # (the ingesting) thread covers the whole pipeline.
+        profiler = Profiler(hz=args.profile_hz)
+        profiler.start()
     emitted = 0
     events = 0
     pending = 0
@@ -538,11 +601,23 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"{detector.rebuild_count} rebuilds{extras}",
         file=sys.stderr,
     )
+    profile_report = profiler.stop() if profiler is not None else None
+    if profile_report is not None:
+        if args.profile:
+            print(profile_report.render_text(), file=sys.stderr)
+        if args.profile_out:
+            profile_report.write_collapsed(args.profile_out)
+            print(
+                f"[stream] collapsed stacks written to {args.profile_out}",
+                file=sys.stderr,
+            )
     if args.metrics_out:
         from repro.obs import JsonlSink
 
         with JsonlSink(args.metrics_out) as sink:
             sink.emit_metrics(detector.metrics().snapshot())
+            if profile_report is not None and profile_report.samples:
+                sink.emit_profile(profile_report.to_dict())
         print(f"[stream] metrics written to {args.metrics_out}", file=sys.stderr)
     return exit_code
 
@@ -634,6 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
             "lines (readable by 'flow-motifs metrics PATH')"
         ),
     )
+    _add_profile_options(find_parser)
 
     stream_parser = sub.add_parser(
         "stream",
@@ -716,6 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
             "JSON lines (readable by 'flow-motifs metrics PATH')"
         ),
     )
+    _add_profile_options(stream_parser)
 
     ingest_parser = sub.add_parser(
         "ingest",
@@ -787,6 +864,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="render the stitched span tree instead of the metrics",
     )
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help=(
+            "render profile records from observability JSON-lines files "
+            "(from find/stream --profile --metrics-out)"
+        ),
+    )
+    profile_parser.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="JSON-lines sink files; profile records merge associatively",
+    )
+    profile_parser.add_argument(
+        "-n", "--top", type=int, default=15, dest="top",
+        help="hottest frames to list per ranking (default 15)",
+    )
+    profile_parser.add_argument(
+        "--collapsed-out", default=None, metavar="PATH", dest="collapsed_out",
+        help="also write the merged collapsed stacks to PATH",
+    )
     return parser
 
 
@@ -804,10 +901,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fsck(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "all":
         return _run_experiments(args, list(EXPERIMENTS))
     return _run_experiments(args, [args.command])
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit like a Unix tool
+        # (point stdout at devnull so the shutdown flush cannot raise).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 128 + 13
+    sys.exit(code)

@@ -1,0 +1,245 @@
+"""Fault flight recorder: a bounded ring buffer of recent context.
+
+When a shard crashes, times out, or forces a backend degradation, the
+classified :class:`~repro.resilience.FaultEvent` alone says *what*
+failed — never what the system was doing in the seconds before. The
+flight recorder closes that gap: while installed, it continuously
+retains the last ``capacity`` observability records (finished spans via
+the tracing span hook, metric snapshots, fault events, free-form
+notes) in a :class:`collections.deque`, and on demand :meth:`dumps
+<FlightRecorder.dump>` the whole ring — plus the active registry's
+current metrics — as a JSONL *diagnostic bundle* next to the workload.
+
+Memory is strictly bounded (ring capacity × one small dict), dump count
+is strictly bounded (``max_bundles``, oldest deleted first), and the
+recorder is **off by default**: nothing is installed unless code calls
+:func:`install` or the ``REPRO_FLIGHT_DIR`` environment variable names
+a bundle directory (:func:`maybe_install_from_env`, checked by the
+parallel engine and the CLI). The resilience layer dumps automatically
+on shard retry, degradation, and timeout faults
+(:mod:`repro.resilience.retry`) and on SIGTERM through the shm
+registry's chaining handler — so every bundle ships the last N records
+of context instead of nothing.
+
+Bundle format: JSON lines. The first record is ``{"kind":
+"flight-header", "reason": ..., "pid": ..., "ts": ...}``; subsequent
+records are the ring entries oldest-first (each stamped ``ts`` +
+``kind``), and the final record carries the currently active metrics
+snapshot when one exists.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Deque, List, Optional
+
+from . import metrics as _metrics
+from . import tracing as _tracing
+
+__all__ = [
+    "ENV_VAR",
+    "FlightRecorder",
+    "install",
+    "installed",
+    "maybe_install_from_env",
+    "uninstall",
+]
+
+#: Environment switch: set to a directory path to arm a process-wide
+#: recorder writing its bundles there (inherited by CLI runs and chaos
+#: drills without any code change).
+ENV_VAR = "REPRO_FLIGHT_DIR"
+
+#: Ring capacity and bundle cap defaults: enough context to diagnose a
+#: fault, small enough to never matter for memory or disk.
+DEFAULT_CAPACITY = 512
+DEFAULT_MAX_BUNDLES = 16
+
+
+class FlightRecorder:
+    """Bounded in-memory recorder of recent observability records."""
+
+    def __init__(
+        self,
+        bundle_dir: str = ".",
+        capacity: int = DEFAULT_CAPACITY,
+        max_bundles: int = DEFAULT_MAX_BUNDLES,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if max_bundles < 1:
+            raise ValueError(f"max_bundles must be positive, got {max_bundles}")
+        self.bundle_dir = bundle_dir
+        self.capacity = capacity
+        self.max_bundles = max_bundles
+        self._records: Deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        #: Paths of bundles written by this recorder, oldest first.
+        self.bundles: List[str] = []
+
+    # -- recording -------------------------------------------------------
+
+    def note(self, kind: str, **fields: object) -> None:
+        """Append one timestamped record to the ring."""
+        record = {"ts": time.time(), "kind": kind}
+        record.update(fields)
+        with self._lock:
+            self._records.append(record)
+
+    def note_span(self, span_dict: dict) -> None:
+        """Tap for :func:`repro.obs.tracing.set_span_hook`."""
+        self.note("span", span=span_dict)
+
+    def note_metrics(self, snapshot: dict) -> None:
+        """Retain one metrics snapshot (e.g. a worker's shipped copy)."""
+        self.note("metrics", snapshot=snapshot)
+
+    def note_fault(
+        self,
+        category: str,
+        message: str,
+        shard_index: Optional[int] = None,
+        backend: Optional[str] = None,
+        attempt: Optional[int] = None,
+    ) -> None:
+        """Retain one classified fault event."""
+        self.note(
+            "fault",
+            category=category,
+            message=message,
+            shard_index=shard_index,
+            backend=backend,
+            attempt=attempt,
+        )
+
+    def records(self) -> List[dict]:
+        """Current ring contents, oldest first (a copy)."""
+        with self._lock:
+            return list(self._records)
+
+    # -- bundles ---------------------------------------------------------
+
+    def dump(self, reason: str) -> Optional[str]:
+        """Write the ring as a JSONL diagnostic bundle; returns its path.
+
+        Never raises: a recorder that cannot write (read-only directory,
+        disk full, interpreter shutdown) must not mask the fault being
+        diagnosed. Returns None on failure.
+        """
+        with self._lock:
+            records = list(self._records)
+            self._seq += 1
+            seq = self._seq
+        safe_reason = "".join(
+            ch if (ch.isalnum() or ch in "-_") else "-" for ch in reason
+        )
+        path = os.path.join(
+            self.bundle_dir, f"flight-{os.getpid()}-{seq:03d}-{safe_reason}.jsonl"
+        )
+        header = {
+            "kind": "flight-header",
+            "reason": reason,
+            "pid": os.getpid(),
+            "ts": time.time(),
+            "num_records": len(records),
+        }
+        registry = _metrics.active()
+        try:
+            os.makedirs(self.bundle_dir, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(header, sort_keys=True) + "\n")
+                for record in records:
+                    fh.write(json.dumps(record, sort_keys=True) + "\n")
+                if registry is not None:
+                    fh.write(
+                        json.dumps(
+                            {
+                                "kind": "metrics",
+                                "ts": time.time(),
+                                "snapshot": registry.snapshot(),
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+        except OSError:
+            return None
+        self.bundles.append(path)
+        while len(self.bundles) > self.max_bundles:
+            stale = self.bundles.pop(0)
+            try:
+                os.unlink(stale)
+            except OSError:
+                pass
+        return path
+
+
+# ----------------------------------------------------------------------
+# Process-wide installation
+# ----------------------------------------------------------------------
+
+_INSTALLED: Optional[FlightRecorder] = None
+_INSTALL_LOCK = threading.Lock()
+_SIGTERM_HOOKED = False
+
+
+def installed() -> Optional[FlightRecorder]:
+    """The process-wide recorder, or None while flight recording is off.
+
+    The one-predicate gate every producer site checks.
+    """
+    return _INSTALLED
+
+
+def install(
+    recorder: Optional[FlightRecorder] = None, **kwargs
+) -> FlightRecorder:
+    """Arm a process-wide recorder (idempotent; returns the active one).
+
+    Wires the tracing span hook so finished spans land in the ring, and
+    registers a SIGTERM dump through the shm registry's chaining handler
+    — a terminated run leaves a ``flight-*-sigterm.jsonl`` bundle behind.
+    """
+    global _INSTALLED, _SIGTERM_HOOKED
+    with _INSTALL_LOCK:
+        if _INSTALLED is not None:
+            return _INSTALLED
+        _INSTALLED = recorder if recorder is not None else FlightRecorder(**kwargs)
+        _tracing.set_span_hook(_INSTALLED.note_span)
+        if not _SIGTERM_HOOKED:
+            _SIGTERM_HOOKED = True
+            from repro.resilience import shm_registry as _shm
+
+            _shm.register_sigterm_hook(_dump_on_sigterm)
+        return _INSTALLED
+
+
+def _dump_on_sigterm() -> None:
+    recorder = _INSTALLED
+    if recorder is not None:
+        recorder.dump("sigterm")
+
+
+def uninstall() -> None:
+    """Disarm the process-wide recorder and the span tap."""
+    global _INSTALLED
+    with _INSTALL_LOCK:
+        _INSTALLED = None
+        _tracing.set_span_hook(None)
+
+
+def maybe_install_from_env() -> Optional[FlightRecorder]:
+    """Install a recorder when :data:`ENV_VAR` names a bundle directory.
+
+    Called by the parallel engine's constructor and the CLI entry point;
+    a no-op (and one ``os.environ`` read) when the variable is unset.
+    """
+    target = os.environ.get(ENV_VAR)
+    if not target:
+        return _INSTALLED
+    return install(bundle_dir=target)

@@ -43,6 +43,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "active",
     "activate",
+    "histogram_quantile",
     "render_prometheus",
     "render_text",
 ]
@@ -418,6 +419,47 @@ def render_prometheus(snapshot: dict) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def histogram_quantile(data: dict, q: float) -> float:
+    """Estimate quantile ``q`` of a snapshot histogram by interpolation.
+
+    The Prometheus estimator: find the bucket the ``q``-th observation
+    lands in, then interpolate linearly between its lower and upper
+    bound (the first finite bucket's lower bound is 0). Observations in
+    the overflow bucket clamp to the last finite boundary — the
+    estimate is then a lower bound, exactly as in PromQL.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    buckets = data["buckets"]
+    counts = data["counts"]
+    total = data["count"]
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for i, bound in enumerate(buckets):
+        prev_cumulative = cumulative
+        cumulative += counts[i]
+        if cumulative >= rank:
+            lower = buckets[i - 1] if i > 0 else 0.0
+            in_bucket = counts[i]
+            if in_bucket == 0:
+                return float(bound)
+            frac = (rank - prev_cumulative) / in_bucket
+            return lower + (float(bound) - lower) * min(max(frac, 0.0), 1.0)
+    return float(buckets[-1])
+
+
+def _quantile_suffix(data: dict) -> str:
+    if not data["count"]:
+        return ""
+    parts = [
+        f"p{int(q * 100)}={histogram_quantile(data, q):g}"
+        for q in (0.50, 0.95, 0.99)
+    ]
+    return " " + " ".join(parts)
+
+
 def render_text(snapshot: dict) -> str:
     """Aligned human listing of one snapshot (the ``--trace`` CLI view)."""
     rows: List[Tuple[str, str]] = []
@@ -429,7 +471,11 @@ def render_text(snapshot: dict) -> str:
         data = snapshot["histograms"][key]
         mean = data["sum"] / data["count"] if data["count"] else 0.0
         rows.append(
-            (key, f"count={data['count']} sum={data['sum']:g} mean={mean:g}")
+            (
+                key,
+                f"count={data['count']} sum={data['sum']:g} mean={mean:g}"
+                + _quantile_suffix(data),
+            )
         )
     if not rows:
         return "(no metrics recorded)"

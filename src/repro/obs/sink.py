@@ -12,6 +12,11 @@ with a ``"kind"`` field —
 ``{"kind": "event", "name": ..., ...}``
     Free-form structured events (fault reports, checkpoints).
 
+``{"kind": "profile", "profile": {...}}``
+    A :meth:`repro.obs.profiler.ProfileReport.to_dict` payload
+    (collapsed stacks + span attribution), merged associatively by
+    :func:`load_profiles`.
+
 Files in this format are what ``repro metrics <file.jsonl>`` reads:
 metrics snapshots are merged associatively, spans are stitched into a
 trace tree, and the result renders as Prometheus exposition or a human
@@ -25,8 +30,9 @@ import json
 from typing import IO, Dict, Iterable, List, Optional, Tuple, Union
 
 from . import metrics as _metrics
+from .profiler import ProfileReport
 
-__all__ = ["JsonlSink", "read_jsonl", "load_observations"]
+__all__ = ["JsonlSink", "read_jsonl", "load_observations", "load_profiles"]
 
 
 class JsonlSink:
@@ -56,6 +62,10 @@ class JsonlSink:
         record = {"kind": "event", "name": name}
         record.update(fields)
         self._write(record)
+
+    def emit_profile(self, profile: dict) -> None:
+        """One serialized :class:`~repro.obs.profiler.ProfileReport`."""
+        self._write({"kind": "profile", "profile": profile})
 
     def close(self) -> None:
         self._fh.flush()
@@ -111,3 +121,23 @@ def load_observations(
         else {"counters": {}, "gauges": {}, "histograms": {}}
     )
     return snapshot, spans, events
+
+
+def load_profiles(paths: Iterable[str]) -> ProfileReport:
+    """Merge every ``profile`` record across sink files into one report.
+
+    Profile merge is associative (collapsed-stack counts add), so worker
+    files and repeated runs combine the same way metrics snapshots do.
+    Returns an empty report when no profile records are present.
+    """
+    merged: Optional[ProfileReport] = None
+    for path in paths:
+        for record in read_jsonl(path):
+            if record.get("kind") != "profile":
+                continue
+            report = ProfileReport.from_dict(record.get("profile", {}))
+            if merged is None:
+                merged = report
+            else:
+                merged.merge(report)
+    return merged if merged is not None else ProfileReport()

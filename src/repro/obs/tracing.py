@@ -41,7 +41,11 @@ __all__ = [
     "Tracer",
     "active",
     "activate",
+    "ambient_span_name",
     "current_context",
+    "disable_ambient",
+    "enable_ambient",
+    "set_span_hook",
     "span",
     "stitch_trace",
     "render_trace_tree",
@@ -49,6 +53,60 @@ __all__ = [
 ]
 
 _SEQ = itertools.count(1)
+
+# ----------------------------------------------------------------------
+# Ambient span registry (for the sampling profiler) and span hook (for
+# the flight recorder). Both are zero-cost while unused: span push/pop
+# checks one module-level int / None respectively.
+# ----------------------------------------------------------------------
+
+#: thread ident -> innermost open span *name* on that thread, maintained
+#: only while at least one profiler holds the registry enabled. The
+#: sampler thread reads it to attribute samples to trace phases.
+_AMBIENT: Dict[int, str] = {}
+_AMBIENT_USERS = 0
+_AMBIENT_LOCK = threading.Lock()
+
+#: Optional callback invoked with every *finished* span dict — the
+#: flight recorder's tap. None (the default) keeps span exit at its
+#: usual cost.
+_SPAN_HOOK = None
+
+
+def enable_ambient() -> None:
+    """Reference-count the ambient registry on (profiler ``start``)."""
+    global _AMBIENT_USERS
+    with _AMBIENT_LOCK:
+        _AMBIENT_USERS += 1
+
+
+def disable_ambient() -> None:
+    """Drop one ambient-registry user; clears the table at zero."""
+    global _AMBIENT_USERS
+    with _AMBIENT_LOCK:
+        _AMBIENT_USERS = max(0, _AMBIENT_USERS - 1)
+        if _AMBIENT_USERS == 0:
+            _AMBIENT.clear()
+
+
+def ambient_span_name(thread_ident: int) -> Optional[str]:
+    """Innermost open span name on a thread (None when none / disabled)."""
+    return _AMBIENT.get(thread_ident)
+
+
+def set_span_hook(hook) -> None:
+    """Install (or clear, with None) the finished-span callback."""
+    global _SPAN_HOOK
+    _SPAN_HOOK = hook
+
+
+def _ambient_update(stack: "List[Span]") -> None:
+    """Refresh this thread's ambient entry from a span stack."""
+    ident = threading.get_ident()
+    if stack:
+        _AMBIENT[ident] = stack[-1].name
+    else:
+        _AMBIENT.pop(ident, None)
 
 #: ``(trace_id, parent_span_id)`` — everything a worker needs to open
 #: spans under the dispatcher's tree. Kept a plain tuple so it pickles
@@ -194,7 +252,10 @@ class Tracer:
         return stack
 
     def _push(self, span_obj: Span) -> None:
-        self._stack().append(span_obj)
+        stack = self._stack()
+        stack.append(span_obj)
+        if _AMBIENT_USERS:
+            _ambient_update(stack)
 
     def _pop(self, span_obj: Span) -> None:
         stack = self._stack()
@@ -205,8 +266,15 @@ class Tracer:
                 stack.remove(span_obj)
             except ValueError:
                 pass
+        if _AMBIENT_USERS:
+            _ambient_update(stack)
         with self._lock:
             self._finished.append(span_obj)
+        if _SPAN_HOOK is not None:
+            try:
+                _SPAN_HOOK(span_obj.to_dict())
+            except Exception:  # a broken tap must never break tracing
+                pass
 
     def current_span_id(self) -> Optional[str]:
         """Ambient parent id for this thread (falls back to the root
@@ -284,6 +352,11 @@ def activate(tracer: Optional[Tracer]) -> Optional[Tracer]:
     """Swap the current thread's tracer; returns the previous one."""
     previous = _STATE.tracer
     _STATE.tracer = tracer
+    if _AMBIENT_USERS:
+        # Keep the profiler's span attribution truthful across tracer
+        # swaps (worker trampoline activating a fresh per-task tracer,
+        # then restoring the dispatcher's).
+        _ambient_update(tracer._stack() if tracer is not None else [])
     return previous
 
 

@@ -33,9 +33,11 @@ from repro.core.engine import SearchResult
 from repro.core.motif import Motif
 from repro.graph.interaction import InteractionGraph
 from repro.graph.timeseries import TimeSeriesGraph
+from repro.obs import metrics as _metrics
 from repro.obs import tracing as _tracing
 from repro.parallel import merge as _merge
 from repro.parallel import worker as _worker
+from repro.parallel.costmodel import ShardCostModel
 from repro.parallel.engine import ParallelFlowMotifEngine
 from repro.utils.timing import Timer
 
@@ -97,12 +99,27 @@ class BatchRunner:
         (determinism testing, as in the engine).
     shards, backend:
         As in :class:`~repro.parallel.engine.ParallelFlowMotifEngine`.
+    adaptive:
+        Observability-driven adaptive sharding: the sharded path runs
+        the grid in two waves — a probe wave (first configuration, on
+        the default quantile partition) whose measured per-shard
+        timings feed the :class:`~repro.parallel.costmodel.
+        ShardCostModel`, then the remaining configurations on a
+        cost-balanced re-cut of the timeline. Output stays
+        multiset-identical to serial (the δ-halo ownership argument
+        holds for any cuts); only wall-clock balance changes.
+    cost_model:
+        An explicit model to (re)use across runners — e.g. one warmed
+        by earlier runs on the same graph. Implies ``adaptive``.
 
     Attributes
     ----------
     last_stats:
         Dict describing the previous :meth:`run`: configuration count,
-        topology-group count, total P1/P2 seconds and wall time.
+        topology-group count, total P1/P2 seconds, wall time, shard
+        imbalance, and — on adaptive runs — the probe-wave imbalance
+        (``imbalance_before``), the adapted-wave imbalance
+        (``imbalance_after``) and the model's prediction error.
     """
 
     def __init__(
@@ -112,7 +129,13 @@ class BatchRunner:
         shards: Optional[int] = None,
         backend: str = "process",
         partition_strategy: str = "events",
+        adaptive: bool = False,
+        cost_model: Optional[ShardCostModel] = None,
     ) -> None:
+        if adaptive and cost_model is None:
+            cost_model = ShardCostModel()
+        self.adaptive = cost_model is not None
+        self.cost_model = cost_model
         # Compose the parallel engine: one source of truth for graph
         # coercion, backend validation, dispatch, and partition caching.
         self._engine = ParallelFlowMotifEngine(
@@ -121,6 +144,7 @@ class BatchRunner:
             shards=shards,
             backend=backend,
             partition_strategy=partition_strategy,
+            cost_model=cost_model,
         )
         self._ts = self._engine.time_series_graph
         self.last_stats: Dict[str, float] = {}
@@ -152,6 +176,7 @@ class BatchRunner:
         only by their result counts.
         """
         resolved = [_coerce_config(c) for c in configs]
+        self._adaptive_stats: Dict[str, float] = {}
         if not resolved:
             self.last_stats = {
                 "num_configs": 0,
@@ -190,6 +215,7 @@ class BatchRunner:
             "wall_seconds": wall.elapsed,
             "shard_imbalance_ratio": imbalance,
         }
+        self.last_stats.update(self._adaptive_stats)
         return results
 
     # ------------------------------------------------------------------
@@ -257,27 +283,14 @@ class BatchRunner:
     ) -> List[SearchResult]:
         with Timer() as wall:
             halo = max(c.effective_delta for c in configs)
-            shards = self._engine.partition(halo)
-            specs = [
-                (i, c.motif, c.effective_delta, c.effective_phi)
-                for i, c in enumerate(configs)
-            ]
-            tasks = self._engine._shard_tasks(shards, "batch", specs, collect)
-            grouped = self._engine._dispatch(tasks)
-            # grouped[s] is the list of per-config outputs from shard s.
-            per_config: List[List[_worker.ShardSearchOutput]] = [
-                [] for _ in configs
-            ]
-            for shard_outputs in grouped:
-                for output in shard_outputs:
-                    per_config[output.config_index].append(output)
-            results: List[SearchResult] = []
-            for config, outputs in zip(configs, per_config):
-                results.append(
-                    _merge.merge_search_results(
-                        config.motif, shards, outputs, self._ts
-                    )
-                )
+            if (
+                self.adaptive
+                and len(configs) > 1
+                and self._engine.num_shards > 1
+            ):
+                results = self._run_adaptive(configs, halo, collect)
+            else:
+                _, results = self._run_wave(configs, halo, collect)
         # The fan-out/merge wall time is shared by the whole grid; record
         # it on every config's report so efficiency charts have a
         # non-zero denominator.
@@ -285,3 +298,76 @@ class BatchRunner:
             if result.shard_timings is not None:
                 result.shard_timings.wall_seconds = wall.elapsed
         return results
+
+    def _run_wave(
+        self, configs: Sequence[MotifConfig], halo: float, collect: bool
+    ) -> Tuple[List, List[SearchResult]]:
+        """Fan one sub-grid out over the current partition and merge.
+
+        When a cost model is attached, every merged result's per-shard
+        timings feed it — so the *next* wave (or run) partitions on
+        fresher densities.
+        """
+        shards = self._engine.partition(halo)
+        specs = [
+            (i, c.motif, c.effective_delta, c.effective_phi)
+            for i, c in enumerate(configs)
+        ]
+        tasks = self._engine._shard_tasks(shards, "batch", specs, collect)
+        grouped = self._engine._dispatch(tasks)
+        # grouped[s] is the list of per-config outputs from shard s.
+        per_config: List[List[_worker.ShardSearchOutput]] = [
+            [] for _ in configs
+        ]
+        for shard_outputs in grouped:
+            for output in shard_outputs:
+                per_config[output.config_index].append(output)
+        results: List[SearchResult] = []
+        for config, outputs in zip(configs, per_config):
+            result = _merge.merge_search_results(
+                config.motif, shards, outputs, self._ts
+            )
+            self._engine._observe_costs(shards, result)
+            results.append(result)
+        return shards, results
+
+    def _run_adaptive(
+        self, configs: Sequence[MotifConfig], halo: float, collect: bool
+    ) -> List[SearchResult]:
+        """Probe wave on quantile cuts, the rest on cost-balanced cuts.
+
+        The first configuration runs on the default (event-quantile)
+        partition purely to measure real per-shard seconds; its timings
+        teach the cost model the timeline's density profile, and the
+        remaining configurations re-partition at cost-weighted
+        quantiles. Before/after imbalance and the model's
+        predicted-vs-actual error are published as
+        ``parallel.adaptive.*`` gauges and mirrored in ``last_stats``.
+        """
+        _, probe_results = self._run_wave(configs[:1], halo, collect)
+        probe_timings = probe_results[0].shard_timings
+        before = (
+            probe_timings.imbalance_ratio if probe_timings is not None else 1.0
+        )
+        _, rest_results = self._run_wave(configs[1:], halo, collect)
+        after = max(
+            (
+                r.shard_timings.imbalance_ratio
+                for r in rest_results
+                if r.shard_timings is not None
+            ),
+            default=before,
+        )
+        model = self.cost_model
+        error = model.mean_abs_rel_error if model is not None else 0.0
+        self._adaptive_stats = {
+            "imbalance_before": before,
+            "imbalance_after": after,
+            "prediction_error": error,
+        }
+        reg = _metrics.active()
+        if reg is not None:
+            reg.gauge("parallel.adaptive.imbalance_before").set(before)
+            reg.gauge("parallel.adaptive.imbalance_after").set(after)
+            reg.gauge("parallel.adaptive.prediction_error").set(error)
+        return probe_results + rest_results

@@ -1,0 +1,258 @@
+"""EWMA per-shard cost model for observability-driven adaptive sharding.
+
+The quantile partitioner (:func:`repro.parallel.partition._cut_points`)
+balances *event counts* — but phase-P2 cost per event is anything but
+uniform: a dense burst of interactions multiplies window density and DP
+work, so an event-balanced partition can leave one shard holding most
+of the wall clock (the imbalance ratio visible in every
+``SearchResult.shard_timings``). This module closes the observe →
+adapt loop the ROADMAP calls for:
+
+1. After a sharded run, :meth:`ShardCostModel.observe` attributes each
+   shard's measured seconds (P1 + P2 from its
+   :class:`~repro.utils.timing.ShardTiming`) to the time bins its core
+   covers, as an exponentially weighted moving average of **seconds per
+   event** — the empirical "window density" of that stretch of the
+   timeline.
+2. Before the next same-topology run, :meth:`ShardCostModel.cut_points`
+   re-cuts the timeline at *cost-weighted* quantiles: every event is
+   weighted by its bin's learned density, so expensive regions get more
+   (smaller) shards and cheap regions fewer (larger) ones.
+3. :meth:`predicted_costs` is recorded at cut time and compared against
+   the next observation — predicted-vs-actual accuracy and the
+   imbalance improvement are published as gauges by the
+   :class:`~repro.parallel.batch.BatchRunner`.
+
+Correctness is free: the δ-halo anchored-ownership construction of
+:mod:`repro.parallel.partition` is valid for *any* strictly increasing
+cut sequence, so adapted partitions produce output multiset-identical
+to serial (property-tested in ``tests/parallel/test_costmodel.py``).
+
+The model is deliberately tiny — ``num_bins`` floats plus bookkeeping —
+and deterministic: same observations in, same cuts out.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ShardCostModel"]
+
+
+class ShardCostModel:
+    """Piecewise-constant EWMA model of search cost over the timeline.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor: a bin's density after an observation is
+        ``alpha * observed + (1 - alpha) * previous``. Higher values
+        adapt faster; 0.3 follows roughly the last three runs.
+    num_bins:
+        Fixed time-bin count the timeline is modelled with. More bins
+        resolve sharper bursts at slightly more bookkeeping.
+    """
+
+    def __init__(self, alpha: float = 0.3, num_bins: int = 64) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
+        if num_bins < 1:
+            raise ValueError(f"num_bins must be positive, got {num_bins}")
+        self.alpha = alpha
+        self.num_bins = num_bins
+        self._density: List[Optional[float]] = [None] * num_bins
+        self._t_min: Optional[float] = None
+        self._t_max: Optional[float] = None
+        #: Bumped on every observation — partition caches key on it so a
+        #: fresher model transparently invalidates stale partitions.
+        self.version = 0
+        #: Most recent per-shard cost prediction (seconds), recorded by
+        #: :meth:`cut_points` and scored by the next :meth:`observe`.
+        self._last_prediction: Optional[List[float]] = None
+        self._error_sum = 0.0
+        self._error_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        """True once at least one observation landed (cuts make sense)."""
+        return self.version > 0 and any(
+            d is not None for d in self._density
+        )
+
+    @property
+    def mean_abs_rel_error(self) -> float:
+        """Mean |predicted - actual| / actual over scored predictions.
+
+        0.0 until the first prediction has been scored.
+        """
+        if self._error_count == 0:
+            return 0.0
+        return self._error_sum / self._error_count
+
+    @property
+    def scored_predictions(self) -> int:
+        """Per-shard predictions scored against an observation so far."""
+        return self._error_count
+
+    # ------------------------------------------------------------------
+    # Bin helpers
+    # ------------------------------------------------------------------
+
+    def _bin_of(self, t: float) -> int:
+        span = self._t_max - self._t_min  # type: ignore[operator]
+        if span <= 0:
+            return 0
+        i = int((t - self._t_min) / span * self.num_bins)  # type: ignore[operator]
+        return min(max(i, 0), self.num_bins - 1)
+
+    def _mean_density(self) -> float:
+        known = [d for d in self._density if d is not None]
+        return sum(known) / len(known) if known else 1.0
+
+    def _density_of(self, t: float) -> float:
+        d = self._density[self._bin_of(t)]
+        return d if d is not None else self._mean_density()
+
+    # ------------------------------------------------------------------
+    # Observe
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        shards: Sequence,
+        timings: Sequence,
+        sorted_times: Sequence[float],
+    ) -> None:
+        """Feed one sharded run's measured per-shard timings.
+
+        Parameters
+        ----------
+        shards:
+            The :class:`~repro.parallel.partition.TimeShard` partition
+            the run executed on (core ranges are read off it).
+        timings:
+            Matching :class:`~repro.utils.timing.ShardTiming` entries
+            (a :class:`~repro.utils.timing.ShardTimingReport`'s
+            ``shards`` list, or the report itself).
+        sorted_times:
+            The engine's flattened sorted event timeline — used to count
+            each core's anchored events; the same list the cuts are
+            later drawn from.
+        """
+        if not sorted_times:
+            return
+        entries = getattr(timings, "shards", timings)
+        if self._t_min is None:
+            self._t_min = sorted_times[0]
+            self._t_max = sorted_times[-1]
+        elif (
+            self._t_min != sorted_times[0] or self._t_max != sorted_times[-1]
+        ):
+            # A different timeline (new graph) invalidates everything.
+            self._t_min, self._t_max = sorted_times[0], sorted_times[-1]
+            self._density = [None] * self.num_bins
+            self._last_prediction = None
+        by_index = {t.shard_index: t for t in entries}
+        actuals: List[float] = []
+        for shard in shards:
+            timing = by_index.get(shard.index)
+            if timing is None:
+                continue
+            lo = bisect_left(sorted_times, shard.core_start)
+            hi = bisect_left(sorted_times, shard.core_end)
+            events = hi - lo
+            seconds = timing.p1_seconds + timing.p2_seconds
+            actuals.append(seconds)
+            if events <= 0:
+                continue
+            observed = seconds / events
+            start = max(shard.core_start, self._t_min)
+            end = min(shard.core_end, self._t_max)
+            if end < start:
+                continue
+            first, last = self._bin_of(start), self._bin_of(end)
+            for i in range(first, last + 1):
+                old = self._density[i]
+                self._density[i] = (
+                    observed
+                    if old is None
+                    else self.alpha * observed + (1.0 - self.alpha) * old
+                )
+        # Score the standing prediction against what actually happened.
+        prediction = self._last_prediction
+        if prediction is not None and len(prediction) == len(actuals):
+            for predicted, actual in zip(prediction, actuals):
+                if actual > 0:
+                    self._error_sum += abs(predicted - actual) / actual
+                    self._error_count += 1
+            self._last_prediction = None
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # Predict / cut
+    # ------------------------------------------------------------------
+
+    def predicted_costs(
+        self,
+        cores: Sequence[Tuple[float, float]],
+        sorted_times: Sequence[float],
+    ) -> List[float]:
+        """Predicted seconds per core range under the current model."""
+        costs: List[float] = []
+        for start, end in cores:
+            lo = bisect_left(sorted_times, start)
+            hi = bisect_left(sorted_times, end)
+            costs.append(
+                sum(self._density_of(sorted_times[i]) for i in range(lo, hi))
+            )
+        return costs
+
+    def cut_points(
+        self, sorted_times: Sequence[float], num_shards: int
+    ) -> Optional[List[float]]:
+        """Cost-balanced interior cut points ``b_1 < ... < b_{k-1}``.
+
+        Each event is weighted by its bin's learned seconds-per-event;
+        cuts land at weighted quantiles so every shard carries (as
+        predicted) the same cost. Returns None when the model cannot
+        improve on the default partitioner (not ready, degenerate
+        timeline, single shard) — callers then fall back to quantile
+        cuts. As a side effect, records the per-shard cost prediction
+        the next :meth:`observe` scores.
+        """
+        if num_shards <= 1 or not self.ready or not sorted_times:
+            return None
+        if self._t_min is None or self._t_max is None:
+            return None
+        if sorted_times[-1] <= sorted_times[0]:
+            return None
+        weights = [self._density_of(t) for t in sorted_times]
+        total = sum(weights)
+        if total <= 0:
+            return None
+        cuts: List[float] = []
+        target_step = total / num_shards
+        acc = 0.0
+        next_target = target_step
+        for t, w in zip(sorted_times, weights):
+            if acc >= next_target and (not cuts or t > cuts[-1]):
+                cuts.append(t)
+                next_target += target_step
+                if len(cuts) == num_shards - 1:
+                    break
+            acc += w
+        if not cuts:
+            return None
+        # Record the prediction for the cores these cuts induce.
+        import math
+
+        bounds = [-math.inf] + cuts + [math.inf]
+        self._last_prediction = self.predicted_costs(
+            list(zip(bounds[:-1], bounds[1:])), sorted_times
+        )
+        return cuts

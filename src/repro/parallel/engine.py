@@ -53,10 +53,13 @@ from repro.core.motif import Motif
 from repro.graph.columnar import ColumnStore
 from repro.graph.interaction import InteractionGraph
 from repro.graph.timeseries import TimeSeriesGraph
+from repro.obs import flight as _flight
 from repro.obs import metrics as _obs_metrics
+from repro.obs import profiler as _profiler
 from repro.obs import tracing as _tracing
 from repro.parallel import merge as _merge
 from repro.parallel import worker as _worker
+from repro.parallel.costmodel import ShardCostModel
 from repro.parallel.partition import (
     TimeShard,
     materialize_shard,
@@ -148,6 +151,7 @@ class ParallelFlowMotifEngine:
         partition_strategy: str = "events",
         use_shared_memory: bool = True,
         retry_policy: Optional[RetryPolicy] = None,
+        cost_model: Optional[ShardCostModel] = None,
     ) -> None:
         if isinstance(graph, InteractionGraph):
             self._ts = graph.to_time_series()
@@ -183,6 +187,12 @@ class ParallelFlowMotifEngine:
         )
         #: Fault/retry/degradation report of the most recent dispatch.
         self.last_dispatch: Optional[DispatchReport] = None
+        #: Optional cost model for adaptive (cost-balanced) sharding:
+        #: fed by find/count timings, consulted by :meth:`partition`.
+        self.cost_model = cost_model
+        # Arm the flight recorder when REPRO_FLIGHT_DIR names a bundle
+        # directory — one env read; a no-op in the common case.
+        _flight.maybe_install_from_env()
 
     @property
     def time_series_graph(self) -> TimeSeriesGraph:
@@ -195,8 +205,18 @@ class ParallelFlowMotifEngine:
 
     def partition(self, halo: float) -> List[TimeShard]:
         """The memoized δ-overlap partition for a given halo width
-        (LRU-bounded: only the most recent few halos stay resident)."""
-        key = (self.num_shards, halo, self.partition_strategy)
+        (LRU-bounded: only the most recent few halos stay resident).
+
+        With a ready :attr:`cost_model`, cut points come from the
+        model's cost-weighted quantiles instead of the raw event
+        quantiles; the model's version is part of the memo key, so
+        fresher observations transparently invalidate stale partitions.
+        """
+        model = self.cost_model
+        model_version = (
+            model.version if model is not None and model.ready else 0
+        )
+        key = (self.num_shards, halo, self.partition_strategy, model_version)
         cached = self._partition_cache.pop(key, None)
         if cached is not None:
             self._partition_cache[key] = cached  # refresh LRU position
@@ -207,6 +227,11 @@ class ParallelFlowMotifEngine:
             self._sorted_times = sorted(
                 t for series in self._ts.all_series() for t in series.times
             )
+        cuts = (
+            model.cut_points(self._sorted_times, self.num_shards)
+            if model_version
+            else None
+        )
         shards = partition_time_range(
             self._ts,
             self.num_shards,
@@ -217,6 +242,7 @@ class ParallelFlowMotifEngine:
             # rebinding offsets, no sliced copies): workers re-slice
             # their own views of the shared columnar store.
             materialize=not self._zero_copy,
+            cut_points=cuts,
         )
         self._partition_cache[key] = shards
         while len(self._partition_cache) > _PARTITION_CACHE_SIZE:
@@ -362,43 +388,54 @@ class ParallelFlowMotifEngine:
     def _wrap_traced(self, tasks: Sequence[Tuple]) -> Sequence[Tuple]:
         """Envelope tasks with the caller's observability context.
 
-        When a tracer or metrics registry is active on the dispatching
-        thread, each task becomes ``("traced", (trace_id, parent_span_id),
-        attrs, inner_task)``: the worker trampoline activates a fresh
-        registry/tracer around the inner task and ships spans + snapshot
-        back (see :func:`repro.parallel.worker.run_shard_task`). With
+        When a tracer, metrics registry, or profiler is active on the
+        dispatching thread, each task becomes ``("traced", (trace_id,
+        parent_span_id), attrs, opts, inner_task)``: the worker
+        trampoline activates a fresh registry/tracer around the inner
+        task — arming a per-task sampling profiler when ``opts`` ships a
+        ``profile_hz`` — and ships spans + snapshot + profile back (see
+        :func:`repro.parallel.worker.run_shard_task`). With
         observability off, tasks pass through untouched — the envelope,
         the per-task registries, and the return wrapping all vanish.
         """
         tracer = _tracing.active()
-        if tracer is None and _obs_metrics.active() is None:
+        prof = _profiler.active()
+        if tracer is None and _obs_metrics.active() is None and prof is None:
             return tasks
         ctx = tracer.context() if tracer is not None else (None, None)
+        opts = {"profile_hz": prof.hz} if prof is not None else {}
         return [
-            ("traced", ctx, {"shard": index}, task)
+            ("traced", ctx, {"shard": index}, opts, task)
             for index, task in enumerate(tasks)
         ]
 
     def _unwrap_traced(self, results: List) -> List:
         """Fold worker observability payloads back into this thread.
 
-        Worker results arrive as ``("obs", spans, snapshot, inner)``:
-        spans are adopted by the active tracer (stitching the worker
-        subtrees under the dispatching span via their shipped parent
-        ids) and snapshots merge associatively into the active registry.
+        Worker results arrive as ``("obs", spans, snapshot, profile,
+        inner)``: spans are adopted by the active tracer (stitching the
+        worker subtrees under the dispatching span via their shipped
+        parent ids), snapshots merge associatively into the active
+        registry, and profiles fold into the active profiler's report.
         Results from retried attempts that ultimately failed never reach
         this point, so each shard contributes exactly one snapshot.
         """
         tracer = _tracing.active()
         registry = _obs_metrics.active()
+        prof = _profiler.active()
+        recorder = _flight.installed()
         unwrapped: List = []
         for item in results:
-            if isinstance(item, tuple) and len(item) == 4 and item[0] == "obs":
-                _, spans, snapshot, inner = item
+            if isinstance(item, tuple) and len(item) == 5 and item[0] == "obs":
+                _, spans, snapshot, profile, inner = item
                 if tracer is not None and spans:
                     tracer.add_spans(spans)
                 if registry is not None and snapshot:
                     registry.merge(snapshot)
+                if prof is not None and profile:
+                    prof.adopt(profile)
+                if recorder is not None and snapshot:
+                    recorder.note_metrics(snapshot)
                 unwrapped.append(inner)
             else:
                 unwrapped.append(item)
@@ -576,9 +613,11 @@ class ParallelFlowMotifEngine:
                     prefix_pruning,
                 )
                 outputs = self._dispatch(tasks)
-            return _merge.merge_search_results(
+            result = _merge.merge_search_results(
                 motif, shards, outputs, self._ts, wall_seconds=wall.elapsed
             )
+            self._observe_costs(shards, result)
+            return result
 
     def count_instances(
         self,
@@ -602,9 +641,22 @@ class ParallelFlowMotifEngine:
                     shards, "count", motif, effective_delta, effective_phi
                 )
                 outputs = self._dispatch(tasks)
-            return _merge.merge_search_results(
+            result = _merge.merge_search_results(
                 motif, shards, outputs, self._ts, wall_seconds=wall.elapsed
             )
+            self._observe_costs(shards, result)
+            return result
+
+    def _observe_costs(
+        self, shards: Sequence[TimeShard], result: SearchResult
+    ) -> None:
+        """Feed the cost model one run's shard timings (no-op without one)."""
+        model = self.cost_model
+        if model is None or result.shard_timings is None:
+            return
+        if self._sorted_times is None or len(shards) <= 1:
+            return
+        model.observe(shards, result.shard_timings, self._sorted_times)
 
     def top_k(
         self,

@@ -29,6 +29,7 @@ from repro.core.engine import SearchResult
 from repro.core.instance import MotifInstance, Run
 from repro.core.motif import Motif
 from repro.graph.timeseries import TimeSeriesGraph
+from repro.obs import flight as _flight
 from repro.obs import metrics as _metrics
 from repro.parallel.partition import TimeShard
 from repro.parallel.worker import InstanceRecord, ShardSearchOutput
@@ -134,6 +135,19 @@ def merge_search_results(
             result.shard_timings.imbalance_ratio
         )
         reg.gauge("parallel.num_shards").set(len(timings))
+    recorder = _flight.installed()
+    if recorder is not None:
+        # A merge summary in the ring buffer gives post-mortem bundles
+        # the last-known-good shape of the computation (a duplicate
+        # count > 0 here is the first symptom of a bad partition).
+        recorder.note(
+            "merge",
+            num_shards=len(timings),
+            num_matches=result.num_matches,
+            num_instances=result.count,
+            duplicates=duplicates,
+            imbalance_ratio=result.shard_timings.imbalance_ratio,
+        )
     return result
 
 

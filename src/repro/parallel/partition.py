@@ -194,6 +194,7 @@ def partition_time_range(
     strategy: str = "events",
     sorted_times: Optional[List[float]] = None,
     materialize: bool = True,
+    cut_points: Optional[List[float]] = None,
 ) -> List[TimeShard]:
     """Split a graph into time shards with a ``halo``-sized overlap.
 
@@ -223,6 +224,13 @@ def partition_time_range(
         light shards (``graph=None``) carrying only bounds and rebinding
         offsets: the zero-copy process backend ships those bounds and has
         each worker slice its own view of the shared columnar store.
+    cut_points:
+        Explicit interior boundaries overriding ``strategy`` — the hook
+        for cost-adaptive sharding
+        (:class:`~repro.parallel.costmodel.ShardCostModel`). Sanitized
+        to a strictly increasing sequence; the anchored-ownership
+        correctness argument holds for *any* cut sequence as long as the
+        halo covers δ, so adapted partitions stay exact.
 
     Returns
     -------
@@ -247,8 +255,15 @@ def partition_time_range(
         if sorted_times is None
         else sorted_times
     )
-    if num_shards == 1 or len(times) == 0:
-        cuts: List[float] = []
+    if cut_points is not None:
+        cuts = []
+        for b in cut_points:
+            b = float(b)
+            if math.isfinite(b) and (not cuts or b > cuts[-1]):
+                cuts.append(b)
+        cuts = cuts[: max(0, num_shards - 1)]
+    elif num_shards == 1 or len(times) == 0:
+        cuts = []
     else:
         cuts = _cut_points(times, num_shards, strategy)
 

@@ -44,6 +44,7 @@ from repro.graph.columnar import ColumnStore
 from repro.graph.events import Node
 from repro.graph.timeseries import TimeSeriesGraph
 from repro.obs import metrics as _obs_metrics
+from repro.obs import profiler as _obs_profiler
 from repro.obs import tracing as _tracing
 from repro.obs.tracing import span as _span
 from repro.resilience import faultinject as _faultinject
@@ -356,7 +357,7 @@ def run_shard_task(task: Tuple) -> object:
     raise ValueError(f"unknown shard task kind {kind!r}")
 
 
-def _run_traced(ctx: Tuple, attrs: Dict, inner: Tuple) -> Tuple:
+def _run_traced(ctx: Tuple, attrs: Dict, opts: Dict, inner: Tuple) -> Tuple:
     """Run one task under the dispatcher's observability context.
 
     ``ctx`` is the shipped ``(trace_id, parent_span_id)`` (``(None,
@@ -364,17 +365,33 @@ def _run_traced(ctx: Tuple, attrs: Dict, inner: Tuple) -> Tuple:
     and tracer are activated on this thread — thread-local activation
     means concurrent thread-backend tasks never share mutable state —
     and the previous state is restored afterwards, so the serial inline
-    path leaves the dispatcher's own registry untouched. Returns
-    ``("obs", spans, snapshot, inner_result)`` for the engine's
-    ``_unwrap_traced`` to stitch and merge parent-side.
+    path leaves the dispatcher's own registry untouched.
+
+    ``opts`` carries per-task extras; a ``"profile_hz"`` entry arms a
+    sampling :class:`~repro.obs.profiler.Profiler` pinned to this thread
+    for the task's duration — unless a profiler is already active here
+    (the serial inline path, where the dispatcher's own profiler is
+    sampling this very thread and a second one would double-count).
+
+    Returns ``("obs", spans, snapshot, profile, inner_result)`` for the
+    engine's ``_unwrap_traced`` to stitch, merge, and adopt parent-side.
     """
     trace_id, parent_id = ctx
     registry = _obs_metrics.MetricsRegistry()
     tracer = (
         _tracing.Tracer(trace_id, parent_id) if trace_id is not None else None
     )
+    hz = opts.get("profile_hz") if opts else None
+    ambient_prof = _obs_profiler.active()
+    profiler = (
+        _obs_profiler.Profiler(hz=hz)
+        if hz and (ambient_prof is None or not ambient_prof.sampling_here)
+        else None
+    )
     prev_registry = _obs_metrics.activate(registry)
     prev_tracer = _tracing.activate(tracer)
+    if profiler is not None:
+        profiler.start()
     try:
         if tracer is not None:
             with tracer.span("worker.shard_task", **attrs):
@@ -382,7 +399,10 @@ def _run_traced(ctx: Tuple, attrs: Dict, inner: Tuple) -> Tuple:
         else:
             result = run_shard_task(inner)
     finally:
+        if profiler is not None:
+            profiler.stop()
         _obs_metrics.activate(prev_registry)
         _tracing.activate(prev_tracer)
     spans = tracer.spans() if tracer is not None else []
-    return ("obs", spans, registry.snapshot(), result)
+    profile = profiler.report.to_dict() if profiler is not None else None
+    return ("obs", spans, registry.snapshot(), profile, result)

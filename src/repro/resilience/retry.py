@@ -28,6 +28,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.obs import flight as _flight
 from repro.obs import metrics as _metrics
 
 LOG = logging.getLogger("repro.resilience")
@@ -205,6 +206,19 @@ class DispatchReport:
             reg.counter(
                 "resilience.faults", category=event.category, backend=backend
             ).inc()
+        recorder = _flight.installed()
+        if recorder is not None:
+            recorder.note_fault(
+                category=event.category,
+                message=event.message,
+                shard_index=shard_index,
+                backend=backend,
+                attempt=attempt,
+            )
+            if event.category == "timeout":
+                # Timeouts are the faults whose cause lives in the
+                # moments *before* them — ship the ring immediately.
+                recorder.dump("shard-timeout")
         return event
 
     def record_retry_round(self, backend: str) -> None:
@@ -213,6 +227,10 @@ class DispatchReport:
         reg = _metrics.active()
         if reg is not None:
             reg.counter("resilience.retries", backend=backend).inc()
+        recorder = _flight.installed()
+        if recorder is not None:
+            recorder.note("retry-round", backend=backend, round=self.retry_rounds)
+            recorder.dump("shard-retry")
 
     def record_degradation(self, backend: str) -> None:
         """Count one degradation step onto ``backend``."""
@@ -220,3 +238,7 @@ class DispatchReport:
         reg = _metrics.active()
         if reg is not None:
             reg.counter("resilience.degradations", to=backend).inc()
+        recorder = _flight.installed()
+        if recorder is not None:
+            recorder.note("degradation", to=backend)
+            recorder.dump("degradation")

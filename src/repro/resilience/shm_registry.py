@@ -75,6 +75,13 @@ _LOCK = threading.Lock()
 _REGISTRY: Dict[str, Tuple[int, "weakref.ref"]] = {}
 _INSTALLED = False
 
+#: Extra callables run by the chaining SIGTERM handler *before* segment
+#: cleanup — the flight recorder dumps its diagnostic bundle here, so a
+#: terminated run leaves its last seconds of context on disk. Hooks are
+#: pid-stamped like registry entries: a forked pool worker inheriting
+#: the parent's hook list must not run the parent's hooks.
+_SIGTERM_HOOKS: List[Tuple[int, object]] = []
+
 
 def pid_alive(pid: Optional[int]) -> bool:
     """Best-effort liveness probe for a process id."""
@@ -127,6 +134,7 @@ def _install_handlers_once() -> None:
         previous = signal.getsignal(signal.SIGTERM)
 
         def _on_sigterm(signum, frame):
+            _run_sigterm_hooks()
             cleanup_segments()
             if callable(previous):
                 previous(signum, frame)
@@ -139,6 +147,36 @@ def _install_handlers_once() -> None:
         signal.signal(signal.SIGTERM, _on_sigterm)
     except (ValueError, OSError):  # non-main thread / unsupported platform
         pass
+
+
+def register_sigterm_hook(hook) -> None:
+    """Run ``hook()`` from the chaining SIGTERM handler, before cleanup.
+
+    Errors from hooks are swallowed — diagnostics must never block the
+    termination path. Arms the handler chain if nothing registered yet.
+    """
+    with _LOCK:
+        _install_handlers_once()
+        _SIGTERM_HOOKS.append((os.getpid(), hook))
+
+
+def unregister_sigterm_hook(hook) -> None:
+    """Remove a previously registered SIGTERM hook (test hygiene)."""
+    with _LOCK:
+        _SIGTERM_HOOKS[:] = [
+            entry for entry in _SIGTERM_HOOKS if entry[1] is not hook
+        ]
+
+
+def _run_sigterm_hooks() -> None:
+    pid = os.getpid()
+    with _LOCK:
+        hooks = [hook for owner, hook in _SIGTERM_HOOKS if owner == pid]
+    for hook in hooks:
+        try:
+            hook()
+        except Exception:  # noqa: BLE001 - must not mask the signal path
+            LOG.debug("SIGTERM hook %r failed", hook, exc_info=True)
 
 
 def register(store) -> None:

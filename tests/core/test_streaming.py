@@ -198,16 +198,14 @@ class TestIncrementalContract:
         with pytest.raises(ValueError, match="mode"):
             StreamingDetector(Motif.chain(2, delta=1), mode="magic")
 
-    def test_stats_counters(self):
+    def test_metrics_counters(self):
         detector = self._fed_detector()
         detector.poll()
-        with pytest.warns(DeprecationWarning, match="metrics"):
-            stats = detector.stats()
-        assert stats["mode"] == "incremental"
-        assert stats["events"] == 3
-        assert stats["pairs"] == 3
-        assert stats["rebuilds"] == 0
-        assert stats["emitted"] == 1
+        snapshot = detector.metrics().snapshot()
+        assert snapshot["counters"]["stream.events"] == 3
+        assert snapshot["gauges"]["stream.pairs"] == 3
+        assert snapshot["counters"]["stream.rebuilds"] == 0
+        assert snapshot["counters"]["stream.emitted"] == 1
         assert detector.match_count >= 1
         assert detector.num_events == 3
 

@@ -198,3 +198,59 @@ class TestActivation:
 
     def test_default_buckets_sorted(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestHistogramQuantiles:
+    def _snapshot(self, values, buckets=(1.0, 10.0, 100.0)):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        return reg.snapshot()["histograms"]["h"]
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations all landing in (1, 10]: p50 sits at the
+        # bucket's midpoint under the uniform-within-bucket assumption.
+        data = self._snapshot([5.0] * 10)
+        assert metrics.histogram_quantile(data, 0.5) == pytest.approx(5.5)
+
+    def test_first_bucket_lower_bound_is_zero(self):
+        data = self._snapshot([0.5] * 4)
+        # rank 2 of 4 in bucket (0, 1]: 0 + 1 * (2/4)
+        assert metrics.histogram_quantile(data, 0.5) == pytest.approx(0.5)
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        data = self._snapshot([1e6] * 3)
+        assert metrics.histogram_quantile(data, 0.99) == 100.0
+
+    def test_monotone_in_q(self):
+        data = self._snapshot([0.5, 2.0, 3.0, 20.0, 50.0, 99.0])
+        qs = [metrics.histogram_quantile(data, q) for q in (0.1, 0.5, 0.9, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_empty_histogram_is_zero(self):
+        data = self._snapshot([])
+        assert metrics.histogram_quantile(data, 0.5) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        data = self._snapshot([1.0])
+        with pytest.raises(ValueError):
+            metrics.histogram_quantile(data, 1.5)
+        with pytest.raises(ValueError):
+            metrics.histogram_quantile(data, -0.1)
+
+    def test_render_text_includes_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("p2.window_seconds", buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 5.0):
+            h.observe(v)
+        out = render_text(reg.snapshot())
+        assert "p50=" in out
+        assert "p95=" in out
+        assert "p99=" in out
+
+    def test_render_text_empty_histogram_has_no_percentiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        out = render_text(reg.snapshot())
+        assert "p50=" not in out

@@ -1,0 +1,289 @@
+"""The EWMA shard cost model: learning, cutting, and the adaptive loop.
+
+Two layers of property:
+
+1. **Mechanism** (deterministic, no wall clocks): fed synthetic per-shard
+   costs drawn from a known skewed cost function, the model's
+   cost-weighted cuts must partition the *true* cost more evenly than
+   event quantiles do.
+2. **End to end** (real timings): on a skewed workload,
+   :class:`BatchRunner` with the cost model keeps parallel output
+   multiset-identical to serial — the δ-halo ownership argument holds
+   for any strictly increasing cuts — and lowers the measured shard
+   imbalance ratio vs the quantile partitioner.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from collections import Counter
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.motif import Motif
+from repro.graph.interaction import InteractionGraph
+from repro.parallel.batch import BatchRunner, MotifConfig
+from repro.parallel.costmodel import ShardCostModel
+from repro.utils.timing import ShardTiming
+
+
+# ----------------------------------------------------------------------
+# Synthetic scaffolding: shards + costs without running any search
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FakeShard:
+    index: int
+    core_start: float
+    core_end: float
+
+
+def _cores_from_cuts(cuts):
+    bounds = [-math.inf] + list(cuts) + [math.inf]
+    return [
+        FakeShard(i, a, b)
+        for i, (a, b) in enumerate(zip(bounds[:-1], bounds[1:]))
+    ]
+
+
+def _quantile_cuts(times, num_shards):
+    n = len(times)
+    cuts = []
+    for k in range(1, num_shards):
+        t = times[k * n // num_shards]
+        if not cuts or t > cuts[-1]:
+            cuts.append(t)
+    return cuts
+
+
+def _true_costs(times, cuts, cost_of):
+    """True per-shard cost of the partition induced by ``cuts``."""
+    bounds = [-math.inf] + list(cuts) + [math.inf]
+    costs = []
+    for a, b in zip(bounds[:-1], bounds[1:]):
+        costs.append(sum(cost_of(t) for t in times if a <= t < b))
+    return costs
+
+
+def _imbalance(costs):
+    mean = sum(costs) / len(costs)
+    return max(costs) / mean if mean > 0 else 1.0
+
+
+def _skewed_times(rng, n=4000, horizon=1000.0):
+    """Power-law gradient: density decays continuously along the line."""
+    return sorted(horizon * rng.random() ** 2 for _ in range(n))
+
+
+def _teach(model, times, cuts, cost_of, scale=1e-4):
+    """One observation round: per-shard seconds from the true cost fn."""
+    shards = _cores_from_cuts(cuts)
+    timings = [
+        ShardTiming(s.index, p2_seconds=scale * cost)
+        for s, cost in zip(shards, _true_costs(times, cuts, cost_of))
+    ]
+    model.observe(shards, timings, times)
+    return shards
+
+
+class TestValidation:
+    def test_alpha_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ShardCostModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            ShardCostModel(alpha=1.5)
+
+    def test_nonpositive_bins_rejected(self):
+        with pytest.raises(ValueError):
+            ShardCostModel(num_bins=0)
+
+    def test_not_ready_until_observed(self):
+        model = ShardCostModel()
+        assert not model.ready
+        assert model.cut_points([1.0, 2.0, 3.0], 2) is None
+
+    def test_single_shard_never_cut(self):
+        model = ShardCostModel()
+        times = [float(i) for i in range(100)]
+        _teach(model, times, [50.0], lambda t: 1.0)
+        assert model.cut_points(times, 1) is None
+
+    def test_empty_observation_is_noop(self):
+        model = ShardCostModel()
+        model.observe([], [], [])
+        assert model.version == 0
+
+
+class TestLearning:
+    def test_observation_bumps_version(self):
+        model = ShardCostModel()
+        times = [float(i) for i in range(200)]
+        _teach(model, times, _quantile_cuts(times, 4), lambda t: 1.0)
+        assert model.version == 1
+        assert model.ready
+
+    def test_cuts_strictly_increasing(self):
+        rng = random.Random(3)
+        model = ShardCostModel()
+        times = _skewed_times(rng)
+        cost = lambda t: 1.0 / math.sqrt(t / 1000.0 + 0.01)
+        _teach(model, times, _quantile_cuts(times, 8), cost)
+        cuts = model.cut_points(times, 8)
+        assert cuts is not None
+        assert all(a < b for a, b in zip(cuts, cuts[1:]))
+        assert len(cuts) <= 7
+
+    def test_new_timeline_resets_densities(self):
+        model = ShardCostModel()
+        times_a = [float(i) for i in range(100)]
+        _teach(model, times_a, _quantile_cuts(times_a, 4), lambda t: 1.0)
+        # A disjoint timeline (different graph) must invalidate learned
+        # densities but keep the model usable after re-observation.
+        times_b = [1000.0 + float(i) for i in range(100)]
+        _teach(model, times_b, _quantile_cuts(times_b, 4), lambda t: 1.0)
+        cuts = model.cut_points(times_b, 4)
+        assert cuts is not None
+        assert all(times_b[0] < c < times_b[-1] for c in cuts)
+
+    def test_prediction_is_scored_by_next_observation(self):
+        rng = random.Random(5)
+        model = ShardCostModel()
+        times = _skewed_times(rng, n=2000)
+        cost = lambda t: 1.0 / math.sqrt(t / 1000.0 + 0.01)
+        _teach(model, times, _quantile_cuts(times, 6), cost)
+        cuts = model.cut_points(times, 6)
+        assert model.scored_predictions == 0
+        _teach(model, times, cuts, cost)
+        assert model.scored_predictions > 0
+        # Densities came straight from the true cost fn, so predictions
+        # should be close (bin discretization is the only error source).
+        assert model.mean_abs_rel_error < 0.5
+
+
+class TestCostBalancedCuts:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_adaptive_cuts_beat_quantile_cuts_on_true_cost(self, seed):
+        """Property: for skewed cost functions, cost-weighted cuts
+        partition the true cost more evenly than event quantiles."""
+        rng = random.Random(seed)
+        times = _skewed_times(rng)
+        # Per-event cost tracks the local density of the power-law
+        # gradient (as P2 cost does), with a seed-varying exponent.
+        exponent = rng.uniform(0.3, 0.7)
+        cost = lambda t: 1.0 / (t / 1000.0 + 0.01) ** exponent
+        model = ShardCostModel()
+        quantile = _quantile_cuts(times, 8)
+        _teach(model, times, quantile, cost)
+        adaptive = model.cut_points(times, 8)
+        assert adaptive is not None
+        q_imb = _imbalance(_true_costs(times, quantile, cost))
+        a_imb = _imbalance(_true_costs(times, adaptive, cost))
+        assert a_imb < q_imb
+
+    def test_uniform_cost_keeps_roughly_quantile_cuts(self):
+        """With flat density the model must not invent skew."""
+        model = ShardCostModel()
+        times = [float(i) for i in range(1000)]
+        _teach(model, times, _quantile_cuts(times, 4), lambda t: 1.0)
+        cuts = model.cut_points(times, 4)
+        costs = _true_costs(times, cuts, lambda t: 1.0)
+        assert _imbalance(costs) < 1.1
+
+
+class TestAdaptiveBatchRunner:
+    @pytest.fixture(scope="class")
+    def skewed_graph(self):
+        rng = random.Random(7)
+        g = InteractionGraph()
+        nodes = [f"n{i}" for i in range(12)]
+        for _ in range(6000):
+            u, v = rng.sample(nodes, 2)
+            g.add_interaction(
+                u, v, 4000.0 * rng.random() ** 2, rng.uniform(0.5, 5.0)
+            )
+        return g
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        base = Motif.chain(3, delta=5.0, phi=0.0)
+        return [
+            MotifConfig(base),
+            MotifConfig(base, phi=0.5),
+            MotifConfig(base, phi=1.0),
+            MotifConfig(base, delta=4.0),
+            MotifConfig(base, delta=4.0, phi=1.0),
+        ]
+
+    def test_adaptive_output_multiset_identical_to_serial(
+        self, skewed_graph, grid
+    ):
+        serial = BatchRunner(skewed_graph, jobs=1).run(grid)
+        adaptive = BatchRunner(
+            skewed_graph, jobs=1, shards=8, backend="serial", adaptive=True
+        ).run(grid)
+        for s, a in zip(serial, adaptive):
+            assert Counter(i.canonical_key() for i in s.instances) == Counter(
+                i.canonical_key() for i in a.instances
+            )
+
+    def test_adaptive_lowers_measured_imbalance(self, skewed_graph, grid):
+        def median_imbalance(runner):
+            results = runner.run(grid, collect=False)
+            # Skip index 0: under adaptive it is the quantile probe.
+            return statistics.median(
+                r.shard_timings.imbalance_ratio for r in results[1:]
+            )
+
+        quantile = median_imbalance(
+            BatchRunner(skewed_graph, jobs=1, shards=8, backend="serial")
+        )
+        adaptive = median_imbalance(
+            BatchRunner(
+                skewed_graph, jobs=1, shards=8, backend="serial", adaptive=True
+            )
+        )
+        assert adaptive < quantile
+
+    def test_adaptive_stats_and_gauges_published(self, skewed_graph, grid):
+        from repro.obs import metrics
+
+        reg = metrics.MetricsRegistry()
+        prev = metrics.activate(reg)
+        try:
+            runner = BatchRunner(
+                skewed_graph, jobs=1, shards=8, backend="serial", adaptive=True
+            )
+            runner.run(grid, collect=False)
+        finally:
+            metrics.activate(prev)
+        stats = runner.last_stats
+        assert stats["imbalance_before"] >= 1.0
+        assert stats["imbalance_after"] >= 1.0
+        gauges = reg.snapshot()["gauges"]
+        assert gauges["parallel.adaptive.imbalance_before"] == pytest.approx(
+            stats["imbalance_before"]
+        )
+        assert gauges["parallel.adaptive.imbalance_after"] == pytest.approx(
+            stats["imbalance_after"]
+        )
+        assert "parallel.adaptive.prediction_error" in gauges
+
+    def test_explicit_model_is_reused_and_warms_up(self, skewed_graph, grid):
+        model = ShardCostModel()
+        runner = BatchRunner(
+            skewed_graph,
+            jobs=1,
+            shards=8,
+            backend="serial",
+            cost_model=model,
+        )
+        assert runner.adaptive
+        runner.run(grid[:2], collect=False)
+        version_after_first = model.version
+        assert version_after_first > 0
+        runner.run(grid[:2], collect=False)
+        assert model.version > version_after_first

@@ -137,14 +137,21 @@ class TestLateEvents:
         with pytest.raises(ValueError, match="out-of-order"):
             detector.add("a", "b", 9.999, 1.0)
 
-    def test_stats_surface_resilience_counters(self):
+    def test_metrics_surface_resilience_counters(self):
         detector = self._fed(slack=5.0, late="drop")
         detector.add("a", "b", 2.0, 1.0)
         detector.add("a", "b", 7.0, 1.0)
+        snapshot = detector.metrics().snapshot()
+        assert snapshot["gauges"]["stream.slack"] == 5.0
+        assert snapshot["counters"]["stream.late_dropped"] == 1
+        assert snapshot["gauges"]["stream.reorder_depth"] >= detector.pending_count
+
+    def test_stats_adapter_still_warns(self):
+        # The deprecated dict adapter must keep warning until removal.
+        detector = self._fed(slack=5.0, late="drop")
         with pytest.warns(DeprecationWarning, match="metrics"):
             stats = detector.stats()
         assert stats["slack"] == 5.0
-        assert stats["late_dropped"] == 1
         assert stats["pending"] == detector.pending_count
 
 
